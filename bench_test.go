@@ -1,0 +1,211 @@
+// Benchmarks regenerating each table and figure of the paper's evaluation
+// at reduced scale (the cmd/secddr-figures tool runs figure-quality
+// sweeps). Each benchmark reports the headline numbers it reproduces as
+// custom metrics, so `go test -bench=. -benchmem` doubles as a one-shot
+// reproduction summary:
+//
+//	BenchmarkFig6_Performance    — normalized-IPC gmeans of the 5 configs
+//	BenchmarkFig7_MetadataCache  — metadata miss rate span
+//	BenchmarkFig8_Arity          — 8/64/128-ary sensitivity bars
+//	BenchmarkFig10_InvisiMemXTS  — authenticated-channel comparison (XTS)
+//	BenchmarkFig12_InvisiMemCNT  — same with counter-mode encryption
+//	BenchmarkTable1_Simulation   — raw simulator throughput on Table I
+//	BenchmarkTable2_Power        — analytical power model
+//	BenchmarkSecIIIB_EWCRC       — brute-force security analysis
+//	BenchmarkProtocol*           — functional-model wire-protocol speed
+//	BenchmarkAttestation         — full authenticated key exchange
+package secddr_test
+
+import (
+	"crypto/rand"
+	"strings"
+	"testing"
+
+	"secddr"
+	"secddr/internal/analysis"
+	"secddr/internal/attest"
+	"secddr/internal/experiments"
+	"secddr/internal/sim"
+)
+
+// benchScale keeps figure benches to a few seconds: a representative
+// workload triplet (pointer-chase, write-streaming, graph) at smoke scale.
+func benchScale() experiments.Scale {
+	s := experiments.QuickScale()
+	s.InstrPerCore = 60_000
+	s.WarmupInstr = 30_000
+	s.Workloads = []string{"mcf", "lbm", "pr"}
+	return s
+}
+
+func BenchmarkFig6_Performance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig6(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, label := range []string{"tree-64ary", "secddr+ctr", "secddr+xts"} {
+			_, all := fig.GeoMeans(label)
+			b.ReportMetric(all, label+"-gmean")
+		}
+	}
+}
+
+func BenchmarkFig7_MetadataCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig7(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var max float64
+		for _, r := range rows {
+			if r.MetaMissRate > max {
+				max = r.MetaMissRate
+			}
+		}
+		b.ReportMetric(max, "max-meta-missrate")
+	}
+}
+
+func BenchmarkFig8_Arity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bars, err := experiments.Fig8(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, bar := range bars {
+			if bar.Label == "tree" {
+				b.ReportMetric(bar.Value, "tree-"+bar.Group+"ary")
+			}
+		}
+	}
+}
+
+func BenchmarkFig10_InvisiMemXTS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig10(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, label := range []string{"invisimem-real@2400", "secddr"} {
+			_, all := fig.GeoMeans(label)
+			b.ReportMetric(all, label+"-gmean")
+		}
+	}
+}
+
+func BenchmarkFig12_InvisiMemCNT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig12(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, label := range []string{"invisimem-real@2400", "secddr"} {
+			_, all := fig.GeoMeans(label)
+			b.ReportMetric(all, label+"-gmean")
+		}
+	}
+}
+
+// BenchmarkTable1_Simulation measures raw simulator speed (simulated
+// instructions per wall-second) on the Table I configuration.
+func BenchmarkTable1_Simulation(b *testing.B) {
+	wl, _ := secddr.WorkloadByName("omnetpp")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Options{
+			Config:       secddr.Table1(secddr.ModeSecDDRXTS),
+			Workload:     wl,
+			InstrPerCore: 50_000,
+			WarmupInstr:  10_000,
+			Seed:         uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.IPC, "sim-IPC")
+	}
+}
+
+func BenchmarkTable2_Power(b *testing.B) {
+	unit := analysis.ReferenceAESUnit()
+	for i := 0; i < b.N; i++ {
+		for _, chip := range analysis.Table2Configs() {
+			r := analysis.AESPower(chip, unit)
+			name := strings.ReplaceAll(r.Name, " ", "-")
+			b.ReportMetric(r.OverheadPerRank*100, name+"-overhead-%")
+		}
+	}
+}
+
+func BenchmarkSecIIIB_EWCRC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := analysis.EWCRCBruteForce(analysis.PaperEWCRCParams())
+		b.ReportMetric(res.AttackYears, "attack-years")
+	}
+}
+
+// BenchmarkProtocolWrite measures functional-model write throughput
+// (full crypto: CMAC, OTP, eWCRC, SECDED).
+func BenchmarkProtocolWrite(b *testing.B) {
+	sys, err := secddr.NewSystem(secddr.ProtocolSecDDR, secddr.DefaultGeometry(), secddr.TestKeys(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var line [64]byte
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sys.Write(uint64(i%4096)*64, line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProtocolRead measures verified-read throughput.
+func BenchmarkProtocolRead(b *testing.B) {
+	sys, err := secddr.NewSystem(secddr.ProtocolSecDDR, secddr.DefaultGeometry(), secddr.TestKeys(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var line [64]byte
+	for i := 0; i < 4096; i++ {
+		if err := sys.Write(uint64(i)*64, line); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Read(uint64(i%4096) * 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAttestation measures the boot-time handshake (Section III-F:
+// "attestation is infrequent and only incurs a slight slowdown").
+func BenchmarkAttestation(b *testing.B) {
+	ca, err := attest.NewCA(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	id, err := attest.Manufacture(ca, "bench-dimm", 0, rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess, err := attest.StartExchange(rand.Reader)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp, _, err := id.Respond(sess.Hello(), rand.Reader)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sess.Finish(resp, ca.PublicKey(), ca.Revoked); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Command secddr-sim runs a single performance simulation: one workload
+// under one protection mode, printing the metrics the paper's figures are
+// built from.
+//
+// Usage:
+//
+//	secddr-sim -workload mcf -mode secddr+xts -instr 1000000
+//	secddr-sim -list                  # available workloads and modes
+//	secddr-sim -print-config          # dump the Table I configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"secddr/internal/config"
+	"secddr/internal/sim"
+	"secddr/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "secddr-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		workload    = flag.String("workload", "mcf", "benchmark name (see -list)")
+		mode        = flag.String("mode", "secddr+xts", "protection mode (see -list)")
+		instr       = flag.Uint64("instr", 500_000, "measured instructions per core")
+		warmup      = flag.Uint64("warmup", 200_000, "warmup instructions per core")
+		seed        = flag.Uint64("seed", 42, "workload seed")
+		realistic   = flag.Bool("invisimem-realistic", false, "derate InvisiMem to 2400MT/s")
+		list        = flag.Bool("list", false, "list workloads and modes")
+		printConfig = flag.Bool("print-config", false, "print the Table I configuration")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:")
+		for _, p := range trace.Profiles() {
+			tag := ""
+			if p.MemIntensive() {
+				tag = " (memory-intensive)"
+			}
+			fmt.Printf("  %-12s MPKI=%-6.1f pattern=%-8v%s\n", p.Name, p.MPKI, p.Pattern, tag)
+		}
+		fmt.Println("modes:")
+		for m := config.ModeIntegrityTree; m <= config.ModeUnprotected; m++ {
+			fmt.Printf("  %v\n", m)
+		}
+		return nil
+	}
+
+	m, err := config.ParseMode(*mode)
+	if err != nil {
+		return err
+	}
+	cfg := config.Table1(m)
+	if *realistic && m == config.ModeInvisiMem {
+		cfg.Security.InvisiMemRealistic = true
+		cfg.Normalize()
+	}
+
+	if *printConfig {
+		fmt.Printf("%+v\n", cfg)
+		return nil
+	}
+
+	p, ok := trace.ByName(*workload)
+	if !ok {
+		return fmt.Errorf("unknown workload %q (try -list)", *workload)
+	}
+	res, err := sim.Run(sim.Options{
+		Config:       cfg,
+		Workload:     p,
+		InstrPerCore: *instr,
+		WarmupInstr:  *warmup,
+		Seed:         *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("workload          %s\n", res.Workload)
+	fmt.Printf("mode              %v\n", res.Mode)
+	fmt.Printf("total IPC         %.3f\n", res.IPC)
+	fmt.Printf("per-core IPC      %.3f %.3f %.3f %.3f\n",
+		res.PerCoreIPC[0], res.PerCoreIPC[1], res.PerCoreIPC[2], res.PerCoreIPC[3])
+	fmt.Printf("LLC MPKI          %.2f (miss rate %.1f%%)\n", res.LLCMPKI, res.LLCMissRate*100)
+	if res.MetaAccesses > 0 {
+		fmt.Printf("metadata cache    %.1f%% miss rate, %d accesses, %d DRAM fetches\n",
+			res.MetaMissRate*100, res.MetaAccesses, res.MetaMemReads)
+	}
+	fmt.Printf("DRAM              %d reads, %d writes, row-hit %.1f%%\n",
+		res.DRAMReads, res.DRAMWrites, res.RowHitRate*100)
+	fmt.Printf("avg read latency  %.1f memory cycles\n", res.AvgReadLatency)
+	fmt.Printf("bus bandwidth     %.1f GB/s\n", res.BandwidthGBs)
+	fmt.Printf("prefetches        %d\n", res.PrefetchesSent)
+	return nil
+}

@@ -1,0 +1,89 @@
+// Attestation demo: the full Section III-F initialization flow — the
+// vendor CA endorses a rank's ECC chip at manufacturing; at boot the
+// processor runs the authenticated key exchange, derives the transaction
+// keys, initializes the counters, and brings up a working SecDDR system.
+// A man-in-the-middle attempt on the handshake is shown failing.
+package main
+
+import (
+	"crypto/rand"
+	"fmt"
+	"os"
+
+	"secddr"
+	"secddr/internal/attest"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "attestation:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Manufacturing time: the vendor CA endorses the rank's ECC chip.
+	ca, err := attest.NewCA(rand.Reader)
+	if err != nil {
+		return err
+	}
+	rank, err := attest.Manufacture(ca, "dimm-7f3a", 0, rand.Reader)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("manufactured module %q, endorsement key certified by vendor CA\n",
+		rank.Certificate().ModuleID)
+
+	// Boot time: authenticated ECDH between processor and ECC chip.
+	sess, err := attest.StartExchange(rand.Reader)
+	if err != nil {
+		return err
+	}
+	resp, chipPriv, err := rank.Respond(sess.Hello(), rand.Reader)
+	if err != nil {
+		return err
+	}
+	procKeys, err := sess.Finish(resp, ca.PublicKey(), ca.Revoked)
+	if err != nil {
+		return err
+	}
+	chipKeys, err := attest.RankFinish(chipPriv, sess.Hello())
+	if err != nil {
+		return err
+	}
+	if string(procKeys.Kt) != string(chipKeys.Kt) {
+		return fmt.Errorf("key agreement failed")
+	}
+	fmt.Println("handshake complete: processor and ECC chip share Kt")
+
+	// Man-in-the-middle attempt: substitute the chip's ECDH share.
+	evil, err := attest.StartExchange(rand.Reader)
+	if err != nil {
+		return err
+	}
+	tampered := resp
+	tampered.EphemeralPub = evil.Hello().EphemeralPub
+	if _, err := sess.Finish(tampered, ca.PublicKey(), ca.Revoked); err != nil {
+		fmt.Println("MITM key substitution rejected:", err)
+	} else {
+		return fmt.Errorf("MITM went undetected")
+	}
+
+	// The processor picks the initial counter, clears memory, and the
+	// system is live.
+	const initialCt = 0x1357
+	sys, err := secddr.NewSystem(secddr.ProtocolSecDDR, secddr.DefaultGeometry(), procKeys, initialCt)
+	if err != nil {
+		return err
+	}
+	var line [64]byte
+	copy(line[:], "provisioned after attestation")
+	if err := sys.Write(0x100, line); err != nil {
+		return err
+	}
+	if _, err := sys.Read(0x100); err != nil {
+		return err
+	}
+	fmt.Println("SecDDR system live with attested keys; round trip verified")
+	return nil
+}

@@ -1,0 +1,57 @@
+// Traffic obliviousness: the extension sketched in the paper's conclusion.
+// The memory controller and the RCD share address pads derived from the
+// attested key, so a bus eavesdropper sees temporally unique, opaque
+// address bits while integrity protection keeps working underneath.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"secddr"
+	"secddr/internal/cryptoeng"
+	"secddr/internal/protocol"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "oblivious:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sys, err := secddr.NewSystem(secddr.ProtocolSecDDR, secddr.DefaultGeometry(), secddr.TestKeys(), 0)
+	if err != nil {
+		return err
+	}
+	obl, err := protocol.NewObliviousSystem(sys, secddr.TestKeys().Kt)
+	if err != nil {
+		return err
+	}
+
+	trueAddr, err := sys.MapAddr(0x8000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("true coordinates     : row %d, col %d, bank %d/%d\n",
+		trueAddr.Row, trueAddr.Column, trueAddr.BankGroup, trueAddr.Bank)
+
+	obl.Eavesdrop = func(a cryptoeng.WriteAddress) {
+		fmt.Printf("eavesdropper observed: row %d, col %d, bank %d/%d\n",
+			a.Row, a.Column, a.BankGroup, a.Bank)
+	}
+
+	var line [64]byte
+	copy(line[:], "hidden access pattern")
+	if err := obl.Write(0x8000, line); err != nil {
+		return err
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := obl.Read(0x8000); err != nil {
+			return err
+		}
+	}
+	fmt.Println("four commands to ONE line, four distinct bus views; data still verified")
+	return nil
+}

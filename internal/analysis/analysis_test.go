@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestTable2Reproduction(t *testing.T) {
+	unit := ReferenceAESUnit()
+	cfgs := Table2Configs()
+	if len(cfgs) != 2 {
+		t.Fatalf("Table II configs = %d, want 2", len(cfgs))
+	}
+
+	x4 := AESPower(cfgs[0], unit)
+	// Table II row "AES units per ECC chip": 2 for x4.
+	if x4.UnitsPerChip != 2 {
+		t.Errorf("x4 AES units = %d, want 2", x4.UnitsPerChip)
+	}
+	// Table II: 70.8mW per ECC chip.
+	if math.Abs(x4.AESPowerMW-70.8) > 1.0 {
+		t.Errorf("x4 AES power = %.1fmW, want ~70.8", x4.AESPowerMW)
+	}
+	// Table II: 2.1% overhead per rank.
+	if math.Abs(x4.OverheadPerRank-0.021) > 0.002 {
+		t.Errorf("x4 overhead = %.3f, want ~0.021", x4.OverheadPerRank)
+	}
+
+	x8 := AESPower(cfgs[1], unit)
+	if x8.UnitsPerChip != 3 {
+		t.Errorf("x8 AES units = %d, want 3", x8.UnitsPerChip)
+	}
+	if math.Abs(x8.AESPowerMW-106.3) > 1.5 {
+		t.Errorf("x8 AES power = %.1fmW, want ~106.3", x8.AESPowerMW)
+	}
+	if math.Abs(x8.OverheadPerRank-0.023) > 0.002 {
+		t.Errorf("x8 overhead = %.3f, want ~0.023", x8.OverheadPerRank)
+	}
+	// Per-device rates quoted in Section V-B: 12.8 and 25.6 Gbps.
+	if x4.ChipRateGbps != 12.8 || x8.ChipRateGbps != 25.6 {
+		t.Errorf("chip rates = %.1f/%.1f, want 12.8/25.6", x4.ChipRateGbps, x8.ChipRateGbps)
+	}
+}
+
+func TestDDR5Extrapolation(t *testing.T) {
+	res := AESPower(DDR5Config(), ReferenceAESUnit())
+	// Section V-B: DDR5-8800 x4 needs 35.2Gbps -> 3 engines, ~89.3mW total.
+	if res.ChipRateGbps != 35.2 {
+		t.Errorf("DDR5 chip rate = %.1f, want 35.2", res.ChipRateGbps)
+	}
+	if res.UnitsPerChip != 3 {
+		t.Errorf("DDR5 AES units = %d, want 3", res.UnitsPerChip)
+	}
+	if math.Abs(res.AESPowerMW-89.3) > 1.5 {
+		t.Errorf("DDR5 AES power = %.1f, want ~89.3", res.AESPowerMW)
+	}
+	// "the total overhead remains below 5%".
+	if res.OverheadPerRank >= 0.05 {
+		t.Errorf("DDR5 overhead = %.3f, want < 0.05", res.OverheadPerRank)
+	}
+}
+
+func TestAreaBelowPaperBound(t *testing.T) {
+	// Section V-B: total SecDDR area < 1.5mm^2 on the DRAM die.
+	unit := ReferenceAESUnit()
+	for _, units := range []int{2, 3} {
+		if a := AreaEstimate(units, unit); a >= 1.5 {
+			t.Errorf("area with %d engines = %.3fmm^2, want < 1.5", units, a)
+		}
+	}
+}
+
+func TestEWCRCErrorInterval(t *testing.T) {
+	// Section III-B: one CCCA error every ~11.13 days per channel.
+	res := EWCRCBruteForce(PaperEWCRCParams())
+	days := res.ErrorInterval.Hours() / 24
+	if math.Abs(days-11.13) > 0.2 {
+		t.Errorf("error interval = %.2f days, want ~11.13", days)
+	}
+}
+
+func TestEWCRCAttemptCount(t *testing.T) {
+	// Section III-B: >= 4.5e4 attempts for 50% success on a 16b CRC.
+	res := EWCRCBruteForce(PaperEWCRCParams())
+	if res.AttemptsNeeded < 4.4e4 || res.AttemptsNeeded > 4.65e4 {
+		t.Errorf("attempts = %.3g, want ~4.5e4", res.AttemptsNeeded)
+	}
+}
+
+func TestEWCRCAttackDurationYears(t *testing.T) {
+	// Section III-B: ~1385 years at the worst-case JEDEC BER.
+	res := EWCRCBruteForce(PaperEWCRCParams())
+	if res.AttackYears < 1300 || res.AttackYears > 1475 {
+		t.Errorf("attack duration = %.0f years, want ~1385", res.AttackYears)
+	}
+}
+
+func TestEWCRCRealisticBER(t *testing.T) {
+	// Section III-B: BER 1e-21 -> ~138 million years.
+	p := PaperEWCRCParams()
+	p.BER = 1e-21
+	res := EWCRCBruteForce(p)
+	if res.AttackYears < 1.2e8 || res.AttackYears > 1.5e8 {
+		t.Errorf("realistic-BER attack = %.3g years, want ~1.38e8", res.AttackYears)
+	}
+}
+
+func TestEWCRCMassivelyParallelAttack(t *testing.T) {
+	// Section III-B: 1000 nodes x 16 channels still > 86,000 years at
+	// realistic BER.
+	p := PaperEWCRCParams()
+	p.BER = 1e-21
+	p.Nodes = 1000
+	p.Channels = 16
+	res := EWCRCBruteForce(p)
+	if res.AttackYears < 8.6e3 {
+		t.Errorf("parallel attack = %.3g years, want > 8.6e3", res.AttackYears)
+	}
+}
+
+func TestCounterOverflow(t *testing.T) {
+	// Section III-C: one transaction per nanosecond -> > 500 years.
+	years := CounterOverflowYears(1e9)
+	if years < 500 {
+		t.Errorf("counter overflow = %.0f years, want > 500", years)
+	}
+}
+
+func TestSubstitutionMatchProbability(t *testing.T) {
+	if p := SubstitutionMatchProbability(); p != math.Pow(2, -64) {
+		t.Errorf("substitution match probability = %g", p)
+	}
+}
+
+func TestMACForgery(t *testing.T) {
+	if p := MACForgeryProbability(64); p != math.Pow(2, -64) {
+		t.Errorf("64-bit MAC forgery probability = %g", p)
+	}
+	if MACForgeryProbability(16) <= MACForgeryProbability(64) {
+		t.Error("shorter MAC not easier to forge")
+	}
+}
+
+func TestErrorIntervalIsDuration(t *testing.T) {
+	res := EWCRCBruteForce(PaperEWCRCParams())
+	if res.ErrorInterval < 24*time.Hour {
+		t.Errorf("error interval %v implausibly small", res.ErrorInterval)
+	}
+}

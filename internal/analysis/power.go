@@ -1,0 +1,117 @@
+// Package analysis implements the paper's analytical models: the AES-engine
+// area/power overhead of Table II, the encrypted-eWCRC brute-force security
+// analysis of Section III-B, and the counter-lifetime / DIMM-substitution
+// arguments of Section III-C.
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// AESUnitSpec describes the 45nm AES engine the paper scales from
+// (Mathew et al., 53Gbps at 2.1GHz, 0.15mm^2).
+type AESUnitSpec struct {
+	ThroughputGbps float64 // at ReferenceGHz
+	ReferenceGHz   float64
+	AreaMM2        float64
+	PowerMW        float64 // at ReferenceGHz
+}
+
+// ReferenceAESUnit returns the paper's cited 45nm AES engine. The power at
+// the reference clock is back-derived from Table II's per-engine 35.4mW at
+// 500MHz/1.2V (70.8mW for two x4 engines, 106.3mW for three x8 engines).
+func ReferenceAESUnit() AESUnitSpec {
+	return AESUnitSpec{ThroughputGbps: 53, ReferenceGHz: 2.1, AreaMM2: 0.15, PowerMW: 148.7}
+}
+
+// ChipConfig describes one DRAM device variant in Table II.
+type ChipConfig struct {
+	Name          string
+	DeviceBits    int     // x4 or x8
+	DataRateMTps  float64 // e.g. 3200 for DDR4-3200
+	DRAMCoreMHz   float64 // DRAM core clock the AES units run at (500MHz)
+	VoltageV      float64 // supply voltage (1.2V DDR4, 1.1V DDR5)
+	ChipPowerMW   float64 // baseline DRAM chip power
+	DIMMPowerMW   float64 // 16GB dual-rank module power
+	ECCChipsPerRk int     // ECC chips per rank carrying SecDDR logic
+}
+
+// Table2Configs returns the two DDR4 columns of Table II.
+func Table2Configs() []ChipConfig {
+	return []ChipConfig{
+		{Name: "x4 4Gb", DeviceBits: 4, DataRateMTps: 3200, DRAMCoreMHz: 500,
+			VoltageV: 1.2, ChipPowerMW: 290, DIMMPowerMW: 13230, ECCChipsPerRk: 2},
+		{Name: "x8 8Gb", DeviceBits: 8, DataRateMTps: 3200, DRAMCoreMHz: 500,
+			VoltageV: 1.2, ChipPowerMW: 351.9, DIMMPowerMW: 9120, ECCChipsPerRk: 1},
+	}
+}
+
+// DDR5Config returns the DDR5-8800 x4 extrapolation discussed in Section
+// V-B (1.1V, ~13%% lower module power than DDR4).
+func DDR5Config() ChipConfig {
+	return ChipConfig{Name: "x4 DDR5-8800", DeviceBits: 4, DataRateMTps: 8800,
+		DRAMCoreMHz: 500, VoltageV: 1.1, ChipPowerMW: 290,
+		DIMMPowerMW: 13230 * 0.87, ECCChipsPerRk: 2}
+}
+
+// PowerResult is one Table II column.
+type PowerResult struct {
+	Name            string
+	ChipRateGbps    float64 // per-device transfer rate the AES units must match
+	UnitsPerChip    int     // AES engines per ECC chip
+	AESPowerMW      float64 // total AES power per ECC chip
+	ChipPowerMW     float64
+	OverheadPerRank float64 // fraction of rank power added
+}
+
+// AESPower evaluates the Table II power model for one chip configuration.
+//
+// Following Section V-B: the AES engine's throughput is scaled linearly from
+// its reference clock to the DRAM core frequency; enough engines are
+// provisioned to cover the device transfer rate (data + the ECC pins'
+// E-MACs are covered by the same stream since ECC is transferred in
+// parallel); power scales linearly with frequency.
+func AESPower(chip ChipConfig, unit AESUnitSpec) PowerResult {
+	// Per-device bandwidth in Gbps: pins x data rate.
+	chipRate := float64(chip.DeviceBits) * chip.DataRateMTps / 1000
+	// One engine's throughput at the DRAM core clock.
+	perUnit := unit.ThroughputGbps * (chip.DRAMCoreMHz / 1000) / unit.ReferenceGHz
+	units := int(math.Ceil(chipRate / perUnit))
+	// Provision a 5% throughput margin so a configuration that only barely
+	// covers the pin rate gets a spare engine (conservative sizing).
+	if float64(units)*perUnit < chipRate*1.05 {
+		units++
+	}
+	vScale := (chip.VoltageV / 1.2) * (chip.VoltageV / 1.2)
+	perUnitPower := unit.PowerMW * (chip.DRAMCoreMHz / 1000) / unit.ReferenceGHz * vScale
+	aesPower := float64(units) * perUnitPower
+	// Rank power: 16GB dual-rank DIMM power split over two ranks; overhead
+	// counts the ECC chips' added AES power against one rank's share.
+	rankPower := chip.DIMMPowerMW / 2
+	return PowerResult{
+		Name:            chip.Name,
+		ChipRateGbps:    chipRate,
+		UnitsPerChip:    units,
+		AESPowerMW:      aesPower,
+		ChipPowerMW:     chip.ChipPowerMW,
+		OverheadPerRank: float64(chip.ECCChipsPerRk) * aesPower / rankPower,
+	}
+}
+
+// AreaEstimate returns the total SecDDR logic area on the DRAM die in mm^2
+// (45nm): AES engines plus the attestation units (elliptic-curve multiplier
+// 0.0209mm^2 and SHA-256 0.0625mm^2, Section V-B).
+func AreaEstimate(units int, unit AESUnitSpec) float64 {
+	const (
+		ecMultAreaMM2 = 0.0209
+		shaAreaMM2    = 0.0625
+	)
+	return float64(units)*unit.AreaMM2 + ecMultAreaMM2 + shaAreaMM2
+}
+
+// String formats one Table II column.
+func (r PowerResult) String() string {
+	return fmt.Sprintf("%-8s rate=%.1fGbps units=%d aes=%.1fmW overhead=%.1f%%",
+		r.Name, r.ChipRateGbps, r.UnitsPerChip, r.AESPowerMW, r.OverheadPerRank*100)
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"math"
+	"time"
+)
+
+// EWCRCParams configures the Section III-B brute-force analysis of the
+// encrypted extended write CRC.
+type EWCRCParams struct {
+	BER          float64 // bit error rate on the CCCA signals
+	TransferMTps float64 // CCCA transfer rate (half the DDR data rate)
+	SignalCount  int     // CCCA + data signals observed per device (26 for x8)
+	CRCBits      int     // eWCRC width (16)
+	SuccessProb  float64 // attacker's target success probability (0.5)
+	Channels     int     // memory channels attacked in parallel
+	Nodes        int     // machines attacked in parallel
+}
+
+// PaperEWCRCParams returns the parameters used in Section III-B: worst-case
+// JEDEC BER of 1e-16, 26 signals, 16b eWCRC, 50% target success, one channel
+// on one node. The effective CCCA error-exposure rate is 400MT/s: the paper
+// quotes CCCA at half the 3200MT/s data rate, but its published 11.13-day
+// error interval further implies commands occupy only one of four bus slots
+// (one command per BL8 data burst); we use the rate that reproduces the
+// published numbers.
+func PaperEWCRCParams() EWCRCParams {
+	return EWCRCParams{
+		BER:          1e-16,
+		TransferMTps: 400,
+		SignalCount:  26,
+		CRCBits:      16,
+		SuccessProb:  0.5,
+		Channels:     1,
+		Nodes:        1,
+	}
+}
+
+// EWCRCResult carries the derived quantities the paper reports.
+type EWCRCResult struct {
+	ErrorInterval   time.Duration // expected time between natural CCCA errors
+	AttemptsNeeded  float64       // trials for the target success probability
+	AttackDuration  time.Duration // time to perform the trials
+	AttackYears     float64
+	AttemptInterval time.Duration // attacker-usable error events spacing
+}
+
+// EWCRCBruteForce evaluates the brute-force analysis. An attacker can only
+// inject eWCRC guesses disguised as natural CCCA faults (a higher rate
+// reveals an active attack), so the attempt rate equals the natural error
+// rate; each attempt passes the 16-bit check with probability 2^-16.
+func EWCRCBruteForce(p EWCRCParams) EWCRCResult {
+	// Natural error rate: BER x bits observed per second.
+	bitsPerSecond := p.TransferMTps * 1e6 * float64(p.SignalCount)
+	errPerSec := p.BER * bitsPerSecond
+	interval := time.Duration(1 / errPerSec * float64(time.Second))
+
+	// Attempts n with success prob s: 1-(1-2^-b)^n >= s.
+	perTry := math.Pow(2, -float64(p.CRCBits))
+	attempts := math.Log(1-p.SuccessProb) / math.Log(1-perTry)
+
+	parallel := float64(p.Channels * p.Nodes)
+	seconds := attempts / (errPerSec * parallel)
+	return EWCRCResult{
+		ErrorInterval:   interval,
+		AttemptsNeeded:  attempts,
+		AttackDuration:  time.Duration(seconds * float64(time.Second)),
+		AttackYears:     seconds / (365.25 * 24 * 3600),
+		AttemptInterval: interval,
+	}
+}
+
+// CounterOverflowYears returns the time to overflow a 64-bit transaction
+// counter at the given transaction rate (Section III-C: >500 years at one
+// transaction per nanosecond per rank).
+func CounterOverflowYears(txnPerSecond float64) float64 {
+	return math.Pow(2, 64) / txnPerSecond / (365.25 * 24 * 3600)
+}
+
+// SubstitutionMatchProbability returns the chance that a DIMM-substitution
+// attack resumes with matching transaction counters (2^-64: the processor
+// and DIMM counters must agree for the OTPs to align).
+func SubstitutionMatchProbability() float64 { return math.Pow(2, -64) }
+
+// MACForgeryProbability returns the per-attempt probability of forging an
+// n-bit MAC (the E-MAC integrity argument: 2^-64 for 8-byte MACs).
+func MACForgeryProbability(macBits int) float64 {
+	return math.Pow(2, -float64(macBits))
+}

@@ -1,0 +1,258 @@
+// Package attack implements every physical attack analyzed in Section III
+// of the paper as a scripted scenario against the bit-accurate protocol
+// model: bus replay of read responses and writes, address-redirect
+// (stale-data) attacks on the CCCA signals, write dropping, write-to-read
+// command conversion, DIMM substitution (cold boot), Row-Hammer-style
+// at-rest bit flips, and line splicing. Each scenario reports whether the
+// attack was detected (and where) or whether the attacker got stale data
+// accepted — letting tests assert the paper's detection matrix verbatim.
+package attack
+
+import (
+	"errors"
+
+	"secddr/internal/core"
+	"secddr/internal/cryptoeng"
+	"secddr/internal/protocol"
+)
+
+// Result is the outcome of one attack scenario.
+type Result struct {
+	Attack          string
+	Mode            core.Mode
+	DetectedAtWrite bool // the device rejected the write (eWCRC alert)
+	DetectedAtRead  bool // processor MAC verification failed
+	StaleAccepted   bool // a stale/foreign value passed verification
+}
+
+// Detected reports whether the system caught the attack at any point.
+func (r Result) Detected() bool { return r.DetectedAtWrite || r.DetectedAtRead }
+
+// pattern fills a line with a recognizable value.
+func pattern(b byte) (d [core.LineBytes]byte) {
+	for i := range d {
+		d[i] = b ^ byte(i)
+	}
+	return d
+}
+
+const (
+	_addrA = uint64(0x10 * core.LineBytes)
+	_addrB = uint64(0x9000 * core.LineBytes)
+)
+
+// newVictim builds a system and installs v1 at the victim address.
+func newVictim(mode core.Mode) (*protocol.System, error) {
+	sys, err := protocol.NewSystem(mode, protocol.DefaultGeometry(), protocol.TestKeys(), 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.Write(_addrA, pattern(1)); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// classify turns the final read outcome into a Result.
+func classify(name string, mode core.Mode, wErr error, data [core.LineBytes]byte, rErr error, stale [core.LineBytes]byte) Result {
+	r := Result{Attack: name, Mode: mode}
+	if wErr != nil && errors.Is(wErr, core.ErrEWCRCMismatch) {
+		r.DetectedAtWrite = true
+	}
+	if rErr != nil {
+		r.DetectedAtRead = true
+	}
+	if wErr == nil && rErr == nil && data == stale {
+		r.StaleAccepted = true
+	}
+	return r
+}
+
+// ReplayReadResponse is the classic man-in-the-middle replay (Fig. 1): the
+// attacker records a (Data, E-MAC) read response, lets the processor update
+// the line, then serves the recorded response on the next read.
+func ReplayReadResponse(mode core.Mode) (Result, error) {
+	sys, err := newVictim(mode)
+	if err != nil {
+		return Result{}, err
+	}
+	var captured core.ReadResp
+	sys.Chan.OnReadResp = func(r *core.ReadResp) bool {
+		captured = *r
+		return true
+	}
+	if _, err := sys.Read(_addrA); err != nil {
+		return Result{}, err
+	}
+	sys.Chan.OnReadResp = nil
+	if err := sys.Write(_addrA, pattern(2)); err != nil {
+		return Result{}, err
+	}
+	sys.Chan.OnReadResp = func(r *core.ReadResp) bool {
+		*r = captured // replay the stale tuple
+		return true
+	}
+	data, rErr := sys.Read(_addrA)
+	return classify("replay-read-response", mode, nil, data, rErr, pattern(1)), nil
+}
+
+// ReplayWrite replays a captured write burst (old data + old E-MAC) onto
+// the bus after the processor has written a newer value.
+func ReplayWrite(mode core.Mode) (Result, error) {
+	sys, err := protocol.NewSystem(mode, protocol.DefaultGeometry(), protocol.TestKeys(), 0)
+	if err != nil {
+		return Result{}, err
+	}
+	var captured core.WriteMsg
+	sys.Chan.OnWrite = func(m *core.WriteMsg) bool {
+		captured = *m
+		return true
+	}
+	if err := sys.Write(_addrA, pattern(1)); err != nil {
+		return Result{}, err
+	}
+	sys.Chan.OnWrite = nil
+	if err := sys.Write(_addrA, pattern(2)); err != nil {
+		return Result{}, err
+	}
+	// The attacker drives the captured burst onto the bus.
+	wErr := sys.DIMM().HandleWrite(captured)
+	data, rErr := sys.Read(_addrA)
+	return classify("replay-write", mode, wErr, data, rErr, pattern(1)), nil
+}
+
+// RedirectWriteRow mounts the stale-data attack of Fig. 3: the attacker
+// corrupts the row address of a write so the update lands elsewhere,
+// leaving the stale (Data, MAC) in place. The attacker recomputes the
+// non-cryptographic per-chip CRCs for the corrupted address (they are
+// public); only the encrypted eWCRC resists fixing.
+func RedirectWriteRow(mode core.Mode) (Result, error) {
+	return redirectWrite(mode, "redirect-write-row", func(a *cryptoeng.WriteAddress) {
+		a.Row ^= 0x35
+	})
+}
+
+// RedirectWriteColumn corrupts the column address instead of the row.
+func RedirectWriteColumn(mode core.Mode) (Result, error) {
+	return redirectWrite(mode, "redirect-write-column", func(a *cryptoeng.WriteAddress) {
+		a.Column ^= 0x11
+	})
+}
+
+func redirectWrite(mode core.Mode, name string, corrupt func(*cryptoeng.WriteAddress)) (Result, error) {
+	sys, err := newVictim(mode)
+	if err != nil {
+		return Result{}, err
+	}
+	sys.Chan.OnWrite = func(m *core.WriteMsg) bool {
+		corrupt(&m.Addr)
+		// Fix up the public CRCs for the corrupted address.
+		for i := 0; i < 8; i++ {
+			m.CRCs[i] = cryptoeng.EWCRC(m.Addr, m.Data[i*8:(i+1)*8])
+		}
+		if mode != core.ModeSecDDR {
+			// Plain ECC-chip CRC is equally fixable.
+			m.CRCs[8] = cryptoeng.EWCRC(m.Addr, m.EMAC[:])
+		}
+		return true
+	}
+	wErr := sys.Write(_addrA, pattern(2))
+	sys.Chan.OnWrite = nil
+	data, rErr := sys.Read(_addrA)
+	return classify(name, mode, wErr, data, rErr, pattern(1)), nil
+}
+
+// DropWrite silently discards a write in flight; the stale line remains.
+func DropWrite(mode core.Mode) (Result, error) {
+	sys, err := newVictim(mode)
+	if err != nil {
+		return Result{}, err
+	}
+	sys.Chan.OnWrite = func(*core.WriteMsg) bool { return false }
+	if err := sys.Write(_addrA, pattern(2)); err != nil {
+		return Result{}, err
+	}
+	sys.Chan.OnWrite = nil
+	data, rErr := sys.Read(_addrA)
+	return classify("drop-write", mode, nil, data, rErr, pattern(1)), nil
+}
+
+// ConvertWriteToRead rewrites a write command into a read and swallows the
+// response, leaving the stale line while keeping the *transaction count*
+// unchanged — the attack the even/odd counter split exists to defeat
+// (Section III-B).
+func ConvertWriteToRead(mode core.Mode) (Result, error) {
+	sys, err := newVictim(mode)
+	if err != nil {
+		return Result{}, err
+	}
+	sys.Chan.ConvertWriteToRead = true
+	if err := sys.Write(_addrA, pattern(2)); err != nil {
+		return Result{}, err
+	}
+	sys.Chan.ConvertWriteToRead = false
+	data, rErr := sys.Read(_addrA)
+	return classify("convert-write-to-read", mode, nil, data, rErr, pattern(1)), nil
+}
+
+// SubstituteDIMM freezes the module state (cold-boot style), lets the
+// processor continue, then plugs the frozen module back in
+// (Section III-C).
+func SubstituteDIMM(mode core.Mode) (Result, error) {
+	sys, err := newVictim(mode)
+	if err != nil {
+		return Result{}, err
+	}
+	snap := sys.DIMM().Snapshot()
+	if err := sys.Write(_addrA, pattern(2)); err != nil {
+		return Result{}, err
+	}
+	old, err := protocol.RestoreSnapshot(snap, protocol.TestKeys().Kt)
+	if err != nil {
+		return Result{}, err
+	}
+	sys.ReplaceDIMM(old)
+	data, rErr := sys.Read(_addrA)
+	return classify("substitute-dimm", mode, nil, data, rErr, pattern(1)), nil
+}
+
+// RowHammer flips nbits bits of the stored line (at-rest fault injection).
+// One bit is corrected by SECDED; several bits must be detected by the MAC.
+func RowHammer(mode core.Mode, nbits int) (Result, error) {
+	sys, err := newVictim(mode)
+	if err != nil {
+		return Result{}, err
+	}
+	wa, err := sys.MapAddr(_addrA)
+	if err != nil {
+		return Result{}, err
+	}
+	if !sys.DIMM().CorruptStoredLine(wa, nbits, 0xdead) {
+		return Result{}, errors.New("attack: victim line missing")
+	}
+	data, rErr := sys.Read(_addrA)
+	r := classify("row-hammer", mode, nil, data, rErr, [core.LineBytes]byte{})
+	// For Row-Hammer "stale" means any corrupted value accepted.
+	r.StaleAccepted = rErr == nil && data != pattern(1)
+	return r, nil
+}
+
+// SpliceLines swaps two stored lines including their MACs (relocation
+// attack); address-bound MACs must catch it in every mode.
+func SpliceLines(mode core.Mode) (Result, error) {
+	sys, err := newVictim(mode)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := sys.Write(_addrB, pattern(7)); err != nil {
+		return Result{}, err
+	}
+	a, _ := sys.MapAddr(_addrA)
+	b, _ := sys.MapAddr(_addrB)
+	if !sys.DIMM().SwapStoredLines(a, b) {
+		return Result{}, errors.New("attack: lines missing for splice")
+	}
+	data, rErr := sys.Read(_addrA)
+	r := classify("splice-lines", mode, nil, data, rErr, pattern(7))
+	return r, nil
+}

@@ -1,0 +1,180 @@
+package attack
+
+import (
+	"testing"
+
+	"secddr/internal/core"
+)
+
+type attackFn func(core.Mode) (Result, error)
+
+// expectation encodes one cell of the paper's Section III analysis.
+type expectation struct {
+	detected bool
+	stale    bool
+}
+
+// TestAttackDetectionMatrix asserts the paper's security analysis verbatim:
+// the TDX-like MAC-only baseline falls to every replay variant; E-MACs
+// alone (no eWCRC) stop bus replays but not address-redirect stale-data
+// attacks; full SecDDR detects everything.
+func TestAttackDetectionMatrix(t *testing.T) {
+	attacks := []struct {
+		name string
+		fn   attackFn
+		want map[core.Mode]expectation
+	}{
+		{
+			name: "replay-read-response",
+			fn:   ReplayReadResponse,
+			want: map[core.Mode]expectation{
+				core.ModeMACOnly:       {detected: false, stale: true},
+				core.ModeSecDDRNoEWCRC: {detected: true},
+				core.ModeSecDDR:        {detected: true},
+			},
+		},
+		{
+			name: "replay-write",
+			fn:   ReplayWrite,
+			want: map[core.Mode]expectation{
+				core.ModeMACOnly:       {detected: false, stale: true},
+				core.ModeSecDDRNoEWCRC: {detected: true},
+				core.ModeSecDDR:        {detected: true},
+			},
+		},
+		{
+			name: "redirect-write-row",
+			fn:   RedirectWriteRow,
+			want: map[core.Mode]expectation{
+				core.ModeMACOnly:       {detected: false, stale: true},
+				core.ModeSecDDRNoEWCRC: {detected: false, stale: true}, // Fig. 3: E-MACs alone lose
+				core.ModeSecDDR:        {detected: true},
+			},
+		},
+		{
+			name: "redirect-write-column",
+			fn:   RedirectWriteColumn,
+			want: map[core.Mode]expectation{
+				core.ModeMACOnly:       {detected: false, stale: true},
+				core.ModeSecDDRNoEWCRC: {detected: false, stale: true},
+				core.ModeSecDDR:        {detected: true},
+			},
+		},
+		{
+			name: "drop-write",
+			fn:   DropWrite,
+			want: map[core.Mode]expectation{
+				core.ModeMACOnly:       {detected: false, stale: true},
+				core.ModeSecDDRNoEWCRC: {detected: true}, // Ct desync
+				core.ModeSecDDR:        {detected: true},
+			},
+		},
+		{
+			name: "convert-write-to-read",
+			fn:   ConvertWriteToRead,
+			want: map[core.Mode]expectation{
+				core.ModeMACOnly:       {detected: false, stale: true},
+				core.ModeSecDDRNoEWCRC: {detected: true}, // even/odd split
+				core.ModeSecDDR:        {detected: true},
+			},
+		},
+		{
+			name: "substitute-dimm",
+			fn:   SubstituteDIMM,
+			want: map[core.Mode]expectation{
+				core.ModeMACOnly:       {detected: false, stale: true},
+				core.ModeSecDDRNoEWCRC: {detected: true},
+				core.ModeSecDDR:        {detected: true},
+			},
+		},
+		{
+			name: "splice-lines",
+			fn:   SpliceLines,
+			want: map[core.Mode]expectation{
+				// Address-bound MACs catch relocation in every mode.
+				core.ModeMACOnly:       {detected: true},
+				core.ModeSecDDRNoEWCRC: {detected: true},
+				core.ModeSecDDR:        {detected: true},
+			},
+		},
+	}
+
+	for _, a := range attacks {
+		for mode, want := range a.want {
+			t.Run(a.name+"/"+mode.String(), func(t *testing.T) {
+				res, err := a.fn(mode)
+				if err != nil {
+					t.Fatalf("scenario error: %v", err)
+				}
+				if res.Detected() != want.detected {
+					t.Errorf("detected = %v (write=%v read=%v), want %v",
+						res.Detected(), res.DetectedAtWrite, res.DetectedAtRead, want.detected)
+				}
+				if res.StaleAccepted != want.stale {
+					t.Errorf("stale accepted = %v, want %v", res.StaleAccepted, want.stale)
+				}
+			})
+		}
+	}
+}
+
+// TestRedirectDetectedAtWriteTime verifies the full design rejects the
+// misdirected write inside the DRAM device, before commit (Section III-B),
+// not merely at the next read.
+func TestRedirectDetectedAtWriteTime(t *testing.T) {
+	res, err := RedirectWriteRow(core.ModeSecDDR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DetectedAtWrite {
+		t.Error("address redirect not rejected by the device at write time")
+	}
+}
+
+// TestReplayWriteDetectedAtWriteTime: a replayed write burst carries an
+// eWCRC encrypted under the old counter, so full SecDDR rejects it on the
+// device.
+func TestReplayWriteDetectedAtWriteTime(t *testing.T) {
+	res, err := ReplayWrite(core.ModeSecDDR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DetectedAtWrite {
+		t.Error("replayed write burst not rejected by the device")
+	}
+}
+
+// TestRowHammerSECDED: a single disturbance bit is corrected transparently;
+// multi-bit disturbance is detected by the MAC in every mode.
+func TestRowHammerSECDED(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeMACOnly, core.ModeSecDDR} {
+		one, err := RowHammer(mode, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if one.Detected() || one.StaleAccepted {
+			t.Errorf("%v: single-bit flip not transparently corrected: %+v", mode, one)
+		}
+		multi, err := RowHammer(mode, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !multi.Detected() {
+			t.Errorf("%v: multi-bit flip undetected", mode)
+		}
+	}
+}
+
+// TestBenignOperationUnderHooks: pass-through hooks must not disturb the
+// protocol (no false positives).
+func TestBenignOperationUnderHooks(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeMACOnly, core.ModeSecDDRNoEWCRC, core.ModeSecDDR} {
+		res, err := passThrough(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Detected() {
+			t.Errorf("%v: false positive under benign pass-through hooks", mode)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package attack
+
+import (
+	"secddr/internal/core"
+)
+
+// passThrough runs the victim workload with observing-but-honest hooks on
+// every channel: the control experiment proving the attack scenarios'
+// detections are caused by the attacks, not the harness.
+func passThrough(mode core.Mode) (Result, error) {
+	sys, err := newVictim(mode)
+	if err != nil {
+		return Result{}, err
+	}
+	sys.Chan.OnWrite = func(*core.WriteMsg) bool { return true }
+	sys.Chan.OnReadCmd = func(*core.ReadMsg) bool { return true }
+	sys.Chan.OnReadResp = func(*core.ReadResp) bool { return true }
+	if err := sys.Write(_addrA, pattern(2)); err != nil {
+		return Result{Attack: "pass-through", Mode: mode, DetectedAtWrite: true}, nil
+	}
+	data, rErr := sys.Read(_addrA)
+	res := classify("pass-through", mode, nil, data, rErr, pattern(2))
+	res.StaleAccepted = false // reading the value just written is not stale
+	return res, nil
+}

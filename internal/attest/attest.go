@@ -1,0 +1,226 @@
+// Package attest implements SecDDR's initialization and attestation
+// protocol (Section III-F): per-rank endorsement keys embedded by the
+// memory vendor, a certificate authority with revocation, an authenticated
+// ECDH key exchange (signed transcripts defeat impersonation and
+// man-in-the-middle), transaction-counter initialization, and the memory
+// clear required on non-adversarial DIMM replacement.
+package attest
+
+import (
+	"crypto/ecdh"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+
+	"secddr/internal/core"
+)
+
+// Errors surfaced by the handshake.
+var (
+	ErrBadCertificate = errors.New("attest: certificate verification failed")
+	ErrRevoked        = errors.New("attest: endorsement key revoked")
+	ErrBadSignature   = errors.New("attest: key-exchange signature invalid")
+	ErrTampered       = errors.New("attest: key-exchange transcript tampered")
+)
+
+// CA is the trusted certificate authority (the memory vendor or a third
+// party, Section III-F).
+type CA struct {
+	key     *ecdsa.PrivateKey
+	revoked map[string]bool
+}
+
+// NewCA creates a CA with a fresh P-256 signing key.
+func NewCA(rng io.Reader) (*CA, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rng)
+	if err != nil {
+		return nil, fmt.Errorf("attest: CA keygen: %w", err)
+	}
+	return &CA{key: key, revoked: make(map[string]bool)}, nil
+}
+
+// PublicKey returns the CA verification key distributed to processors.
+func (ca *CA) PublicKey() *ecdsa.PublicKey { return &ca.key.PublicKey }
+
+// Certificate binds a rank's endorsement public key to a module identity.
+type Certificate struct {
+	ModuleID  string
+	Rank      int
+	EKPub     []byte // SEC1-encoded endorsement public key
+	Signature []byte // CA signature over (ModuleID, Rank, EKPub)
+}
+
+func certDigest(moduleID string, rank int, ekPub []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte(moduleID))
+	h.Write([]byte{byte(rank)})
+	h.Write(ekPub)
+	return h.Sum(nil)
+}
+
+// Issue signs a certificate for a rank's endorsement key.
+func (ca *CA) Issue(moduleID string, rank int, ekPub *ecdsa.PublicKey) (Certificate, error) {
+	enc := elliptic.MarshalCompressed(ekPub.Curve, ekPub.X, ekPub.Y)
+	sig, err := ecdsa.SignASN1(rand.Reader, ca.key, certDigest(moduleID, rank, enc))
+	if err != nil {
+		return Certificate{}, fmt.Errorf("attest: issue: %w", err)
+	}
+	return Certificate{ModuleID: moduleID, Rank: rank, EKPub: enc, Signature: sig}, nil
+}
+
+// Revoke adds a module's key to the revocation list.
+func (ca *CA) Revoke(moduleID string) { ca.revoked[moduleID] = true }
+
+// Revoked reports whether a module is on the revocation list.
+func (ca *CA) Revoked(moduleID string) bool { return ca.revoked[moduleID] }
+
+// RankIdentity is the secret half embedded in a rank's ECC chip at
+// manufacturing: the endorsement private key never leaves the chip.
+type RankIdentity struct {
+	moduleID string
+	rank     int
+	ek       *ecdsa.PrivateKey
+	cert     Certificate
+}
+
+// Manufacture provisions one rank: generates its endorsement key pair and
+// obtains the CA certificate.
+func Manufacture(ca *CA, moduleID string, rank int, rng io.Reader) (*RankIdentity, error) {
+	ek, err := ecdsa.GenerateKey(elliptic.P256(), rng)
+	if err != nil {
+		return nil, fmt.Errorf("attest: EK keygen: %w", err)
+	}
+	cert, err := ca.Issue(moduleID, rank, &ek.PublicKey)
+	if err != nil {
+		return nil, err
+	}
+	return &RankIdentity{moduleID: moduleID, rank: rank, ek: ek, cert: cert}, nil
+}
+
+// Certificate returns the rank's public certificate.
+func (id *RankIdentity) Certificate() Certificate { return id.cert }
+
+// --- Authenticated key exchange -----------------------------------------
+//
+// The processor initiates; the rank responds with its ephemeral ECDH share
+// signed (together with the processor's share) by the endorsement key.
+// Signing the full transcript authenticates the exchange and defeats
+// man-in-the-middle key substitution [Diffie-van Oorschot-Wiener].
+
+// ProcessorHello is the processor's opening message.
+type ProcessorHello struct {
+	EphemeralPub []byte // processor's ECDH share (X25519)
+	Nonce        [16]byte
+}
+
+// RankResponse carries the rank's share, certificate, and transcript
+// signature.
+type RankResponse struct {
+	EphemeralPub []byte
+	Cert         Certificate
+	Signature    []byte // EK signature over H(hello || response share || nonce)
+}
+
+func transcriptDigest(hello ProcessorHello, rankShare []byte) []byte {
+	h := sha256.New()
+	h.Write(hello.EphemeralPub)
+	h.Write(hello.Nonce[:])
+	h.Write(rankShare)
+	return h.Sum(nil)
+}
+
+// ProcessorSession is the processor's in-progress handshake state.
+type ProcessorSession struct {
+	priv  *ecdh.PrivateKey
+	hello ProcessorHello
+}
+
+// StartExchange generates the processor's ephemeral share.
+func StartExchange(rng io.Reader) (*ProcessorSession, error) {
+	priv, err := ecdh.X25519().GenerateKey(rng)
+	if err != nil {
+		return nil, fmt.Errorf("attest: ephemeral keygen: %w", err)
+	}
+	s := &ProcessorSession{priv: priv}
+	s.hello.EphemeralPub = priv.PublicKey().Bytes()
+	if _, err := io.ReadFull(rng, s.hello.Nonce[:]); err != nil {
+		return nil, fmt.Errorf("attest: nonce: %w", err)
+	}
+	return s, nil
+}
+
+// Hello returns the message sent to the DIMM.
+func (s *ProcessorSession) Hello() ProcessorHello { return s.hello }
+
+// Respond runs on the rank's ECC chip: it generates its share and signs the
+// transcript with the endorsement key.
+func (id *RankIdentity) Respond(hello ProcessorHello, rng io.Reader) (RankResponse, *ecdh.PrivateKey, error) {
+	priv, err := ecdh.X25519().GenerateKey(rng)
+	if err != nil {
+		return RankResponse{}, nil, fmt.Errorf("attest: rank ephemeral: %w", err)
+	}
+	share := priv.PublicKey().Bytes()
+	sig, err := ecdsa.SignASN1(rand.Reader, id.ek, transcriptDigest(hello, share))
+	if err != nil {
+		return RankResponse{}, nil, fmt.Errorf("attest: transcript sign: %w", err)
+	}
+	return RankResponse{EphemeralPub: share, Cert: id.cert, Signature: sig}, priv, nil
+}
+
+// SessionKeys derives the transaction and MAC keys from the ECDH secret.
+func SessionKeys(secret []byte) core.Keys {
+	kt := sha256.Sum256(append([]byte("secddr-kt"), secret...))
+	km := sha256.Sum256(append([]byte("secddr-kmac"), secret...))
+	return core.Keys{Kt: kt[:16], Kmac: km[:16]}
+}
+
+// Finish verifies the rank's certificate chain, revocation status, and
+// transcript signature, then derives the shared keys. It returns the agreed
+// keys and the rank identity it authenticated.
+func (s *ProcessorSession) Finish(resp RankResponse, caPub *ecdsa.PublicKey, revoked func(string) bool) (core.Keys, error) {
+	// 1. Certificate chain.
+	if !ecdsa.VerifyASN1(caPub,
+		certDigest(resp.Cert.ModuleID, resp.Cert.Rank, resp.Cert.EKPub), resp.Cert.Signature) {
+		return core.Keys{}, ErrBadCertificate
+	}
+	// 2. Revocation list.
+	if revoked != nil && revoked(resp.Cert.ModuleID) {
+		return core.Keys{}, fmt.Errorf("%w: %s", ErrRevoked, resp.Cert.ModuleID)
+	}
+	// 3. Transcript signature under the endorsed key.
+	x, y := elliptic.UnmarshalCompressed(elliptic.P256(), resp.Cert.EKPub)
+	if x == nil {
+		return core.Keys{}, ErrBadCertificate
+	}
+	ekPub := &ecdsa.PublicKey{Curve: elliptic.P256(), X: x, Y: y}
+	if !ecdsa.VerifyASN1(ekPub, transcriptDigest(s.hello, resp.EphemeralPub), resp.Signature) {
+		return core.Keys{}, ErrBadSignature
+	}
+	// 4. ECDH.
+	peer, err := ecdh.X25519().NewPublicKey(resp.EphemeralPub)
+	if err != nil {
+		return core.Keys{}, fmt.Errorf("%w: %v", ErrTampered, err)
+	}
+	secret, err := s.priv.ECDH(peer)
+	if err != nil {
+		return core.Keys{}, fmt.Errorf("%w: %v", ErrTampered, err)
+	}
+	return SessionKeys(secret), nil
+}
+
+// RankFinish derives the same keys on the chip side.
+func RankFinish(priv *ecdh.PrivateKey, hello ProcessorHello) (core.Keys, error) {
+	peer, err := ecdh.X25519().NewPublicKey(hello.EphemeralPub)
+	if err != nil {
+		return core.Keys{}, fmt.Errorf("%w: %v", ErrTampered, err)
+	}
+	secret, err := priv.ECDH(peer)
+	if err != nil {
+		return core.Keys{}, fmt.Errorf("%w: %v", ErrTampered, err)
+	}
+	return SessionKeys(secret), nil
+}

@@ -1,0 +1,160 @@
+package attest
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+)
+
+func setup(t *testing.T) (*CA, *RankIdentity) {
+	t.Helper()
+	ca, err := NewCA(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := Manufacture(ca, "dimm-0042", 0, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ca, id
+}
+
+// handshake runs the full exchange and returns both sides' keys.
+func handshake(t *testing.T, ca *CA, id *RankIdentity) (proc, rank [2][]byte) {
+	t.Helper()
+	sess, err := StartExchange(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, rankPriv, err := id.Respond(sess.Hello(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procKeys, err := sess.Finish(resp, ca.PublicKey(), ca.Revoked)
+	if err != nil {
+		t.Fatalf("processor finish: %v", err)
+	}
+	rankKeys, err := RankFinish(rankPriv, sess.Hello())
+	if err != nil {
+		t.Fatalf("rank finish: %v", err)
+	}
+	return [2][]byte{procKeys.Kt, procKeys.Kmac}, [2][]byte{rankKeys.Kt, rankKeys.Kmac}
+}
+
+func TestHandshakeAgreesOnKeys(t *testing.T) {
+	ca, id := setup(t)
+	proc, rank := handshake(t, ca, id)
+	if string(proc[0]) != string(rank[0]) {
+		t.Error("Kt disagreement after handshake")
+	}
+	if string(proc[1]) != string(rank[1]) {
+		t.Error("Kmac disagreement after handshake")
+	}
+	if string(proc[0]) == string(proc[1]) {
+		t.Error("Kt and Kmac identical; key derivation lacks domain separation")
+	}
+}
+
+func TestFreshKeysPerBoot(t *testing.T) {
+	ca, id := setup(t)
+	a, _ := handshake(t, ca, id)
+	b, _ := handshake(t, ca, id)
+	if string(a[0]) == string(b[0]) {
+		t.Error("two boots derived the same Kt")
+	}
+}
+
+func TestForgedCertificateRejected(t *testing.T) {
+	ca, id := setup(t)
+	otherCA, _ := NewCA(rand.Reader)
+	forged, err := Manufacture(otherCA, "evil-dimm", 0, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, _ := StartExchange(rand.Reader)
+	resp, _, _ := forged.Respond(sess.Hello(), rand.Reader)
+	_, err = sess.Finish(resp, ca.PublicKey(), ca.Revoked)
+	if !errors.Is(err, ErrBadCertificate) {
+		t.Errorf("foreign-CA certificate accepted: %v", err)
+	}
+	_ = id
+}
+
+func TestRevokedModuleRejected(t *testing.T) {
+	ca, id := setup(t)
+	ca.Revoke("dimm-0042")
+	sess, _ := StartExchange(rand.Reader)
+	resp, _, _ := id.Respond(sess.Hello(), rand.Reader)
+	if _, err := sess.Finish(resp, ca.PublicKey(), ca.Revoked); !errors.Is(err, ErrRevoked) {
+		t.Errorf("revoked module accepted: %v", err)
+	}
+}
+
+func TestMITMShareSubstitutionDetected(t *testing.T) {
+	// A man in the middle replaces the rank's ECDH share with his own; the
+	// transcript signature no longer verifies.
+	ca, id := setup(t)
+	sess, _ := StartExchange(rand.Reader)
+	resp, _, _ := id.Respond(sess.Hello(), rand.Reader)
+	evil, _ := StartExchange(rand.Reader)
+	resp.EphemeralPub = evil.Hello().EphemeralPub
+	if _, err := sess.Finish(resp, ca.PublicKey(), ca.Revoked); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("substituted ECDH share accepted: %v", err)
+	}
+}
+
+func TestTamperedSignatureRejected(t *testing.T) {
+	ca, id := setup(t)
+	sess, _ := StartExchange(rand.Reader)
+	resp, _, _ := id.Respond(sess.Hello(), rand.Reader)
+	resp.Signature[len(resp.Signature)/2] ^= 0x40
+	if _, err := sess.Finish(resp, ca.PublicKey(), ca.Revoked); err == nil {
+		t.Error("tampered transcript signature accepted")
+	}
+}
+
+func TestImpersonationWithoutEKFails(t *testing.T) {
+	// An attacker with the certificate but not the endorsement private key
+	// cannot produce a valid response.
+	ca, id := setup(t)
+	imposter, err := Manufacture(ca, "dimm-0042", 0, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Imposter presents the victim's certificate with its own signature.
+	sess, _ := StartExchange(rand.Reader)
+	resp, _, _ := imposter.Respond(sess.Hello(), rand.Reader)
+	resp.Cert = id.Certificate()
+	if _, err := sess.Finish(resp, ca.PublicKey(), ca.Revoked); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("imposter without EK accepted: %v", err)
+	}
+}
+
+func TestCertificateBindsRank(t *testing.T) {
+	ca, _ := setup(t)
+	id1, _ := Manufacture(ca, "dimm-0042", 1, rand.Reader)
+	cert := id1.Certificate()
+	if cert.Rank != 1 {
+		t.Errorf("certificate rank = %d", cert.Rank)
+	}
+	// Altering the rank breaks the signature.
+	cert.Rank = 0
+	sess, _ := StartExchange(rand.Reader)
+	resp, _, _ := id1.Respond(sess.Hello(), rand.Reader)
+	resp.Cert = cert
+	if _, err := sess.Finish(resp, ca.PublicKey(), ca.Revoked); !errors.Is(err, ErrBadCertificate) {
+		t.Errorf("rank-altered certificate accepted: %v", err)
+	}
+}
+
+func TestSessionKeysDeterministic(t *testing.T) {
+	secret := []byte("shared-secret-bytes")
+	a := SessionKeys(secret)
+	b := SessionKeys(secret)
+	if string(a.Kt) != string(b.Kt) || string(a.Kmac) != string(b.Kmac) {
+		t.Error("SessionKeys not deterministic")
+	}
+	if len(a.Kt) != 16 || len(a.Kmac) != 16 {
+		t.Error("derived keys are not AES-128 sized")
+	}
+}

@@ -1,0 +1,180 @@
+// Package cache provides the set-associative caches used across the
+// simulated system: the per-core L1D, the shared LLC, and the shared 128KB
+// security-metadata cache that holds encryption counters and integrity-tree
+// nodes (Table I of the paper). It also implements the LLC stream
+// prefetcher.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"secddr/internal/config"
+)
+
+// line is one cache way.
+type line struct {
+	tag     uint64
+	valid   bool
+	dirty   bool
+	lastUse uint64
+}
+
+// Cache is a write-back, write-allocate set-associative cache with LRU
+// replacement. The zero value is not usable; construct with New.
+type Cache struct {
+	geom     config.CacheGeom
+	sets     [][]line
+	setMask  uint64
+	lineBits uint
+	tick     uint64
+
+	// Stats counters (exported for cheap access from the simulator).
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+}
+
+// New constructs a cache from its geometry.
+func New(geom config.CacheGeom) (*Cache, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	sets := geom.Sets()
+	c := &Cache{
+		geom:     geom,
+		sets:     make([][]line, sets),
+		setMask:  uint64(sets - 1),
+		lineBits: uint(bits.Len(uint(geom.LineBytes)) - 1),
+	}
+	ways := make([]line, sets*geom.Ways)
+	for i := range c.sets {
+		c.sets[i] = ways[i*geom.Ways : (i+1)*geom.Ways : (i+1)*geom.Ways]
+	}
+	return c, nil
+}
+
+// Geom returns the cache geometry.
+func (c *Cache) Geom() config.CacheGeom { return c.geom }
+
+func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+	l := addr >> c.lineBits
+	return l & c.setMask, l >> uint(bits.Len64(c.setMask))
+}
+
+// Access looks up addr, updating LRU and (for writes) the dirty bit on a
+// hit. It returns whether the access hit. Misses do not allocate; callers
+// decide when the fill arrives (see Fill).
+func (c *Cache) Access(addr uint64, write bool) bool {
+	c.Accesses++
+	set, tag := c.index(addr)
+	c.tick++
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			ln.lastUse = c.tick
+			if write {
+				ln.dirty = true
+			}
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	return false
+}
+
+// Probe reports whether addr is present without perturbing LRU or stats.
+func (c *Cache) Probe(addr uint64) bool {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Victim describes a line evicted by Fill.
+type Victim struct {
+	Addr  uint64
+	Dirty bool
+}
+
+// Fill installs addr (allocating on write if dirty is set) and returns the
+// evicted victim, if any. Filling an already-present line just refreshes it.
+func (c *Cache) Fill(addr uint64, dirty bool) (Victim, bool) {
+	set, tag := c.index(addr)
+	c.tick++
+	// Already present (e.g. prefetch raced a demand fill): refresh.
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			ln.lastUse = c.tick
+			if dirty {
+				ln.dirty = true
+			}
+			return Victim{}, false
+		}
+	}
+	// Prefer an invalid way.
+	victimIdx := -1
+	for i := range c.sets[set] {
+		if !c.sets[set][i].valid {
+			victimIdx = i
+			break
+		}
+	}
+	var victim Victim
+	hasVictim := false
+	if victimIdx < 0 {
+		// LRU eviction.
+		victimIdx = 0
+		for i := 1; i < len(c.sets[set]); i++ {
+			if c.sets[set][i].lastUse < c.sets[set][victimIdx].lastUse {
+				victimIdx = i
+			}
+		}
+		v := c.sets[set][victimIdx]
+		c.Evictions++
+		victim = Victim{Addr: c.reconstruct(set, v.tag), Dirty: v.dirty}
+		hasVictim = true
+		if v.dirty {
+			c.Writebacks++
+		}
+	}
+	c.sets[set][victimIdx] = line{tag: tag, valid: true, dirty: dirty, lastUse: c.tick}
+	return victim, hasVictim
+}
+
+// reconstruct rebuilds a line-aligned address from set and tag.
+func (c *Cache) reconstruct(set, tag uint64) uint64 {
+	setBits := uint(bits.Len64(c.setMask))
+	return (tag<<setBits | set) << c.lineBits
+}
+
+// Invalidate removes addr from the cache (without writeback), returning
+// whether it was present and dirty.
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			d := ln.dirty
+			*ln = line{}
+			return true, d
+		}
+	}
+	return false, false
+}
+
+// MissRate returns Misses/Accesses (0 when idle).
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}

@@ -1,0 +1,26 @@
+package config
+
+// Table1DDR5 returns a DDR5-6400 variant of the Table I system. The paper
+// notes (Section IV-B) that eWCRC's write-burst extension is relatively
+// cheaper on DDR5 — bursts stretch from 16 to 18 beats (+12.5%) instead of
+// DDR4's 8 to 10 (+25%) — because DDR5 subchannels are 32 bits wide and a
+// 64B line needs 16 beats.
+//
+// Timing parameters are JEDEC DDR5-6400B values in 3200MHz memory-clock
+// cycles. One 32-bit subchannel is modelled (the paper's single-channel
+// DDR4 setup maps to a single subchannel).
+func Table1DDR5(mode Mode) Config {
+	cfg := Table1(mode)
+	cfg.DRAM.ClockMHz = 3200
+	cfg.DRAM.BankGroups = 8
+	cfg.DRAM.Banks = 32
+	cfg.DRAM.ReadBurstBeats = 16
+	cfg.DRAM.Timing = DRAMTiming{
+		TCL: 46, TCCDS: 8, TCCDL: 16, TCWL: 44,
+		TWTRS: 13, TWTRL: 30, TRP: 46, TRCD: 46, TRAS: 102,
+		TRTP: 24, TWR: 96, TRRDS: 8, TRRDL: 16, TFAW: 68,
+		TREFI: 12480, TRFC: 937, TRTRS: 4,
+	}
+	cfg.Normalize()
+	return cfg
+}

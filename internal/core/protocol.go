@@ -1,0 +1,334 @@
+// Package core implements the SecDDR protocol itself — the paper's primary
+// contribution (Section III). It provides the processor-side memory
+// encryption engine and the ECC-chip-side engine as bit-accurate state
+// machines over real cryptography:
+//
+//   - per-line MACs: AES-CMAC over (address ‖ data), truncated to 8 bytes,
+//     stored in the ECC chip (data at rest protection);
+//   - E-MACs: the MAC XORed with a one-time pad derived from the shared
+//     transaction key Kt and a synchronized per-rank transaction counter Ct
+//     (replay protection for data in motion, Section III-A);
+//   - even/odd counter splitting: reads consume even counter values, writes
+//     odd ones, so a write-to-read command conversion desynchronizes the
+//     counters and is detected (Section III-B);
+//   - encrypted eWCRC: a CRC-16 over the write address and the ECC chip's
+//     data slice, encrypted with an address-bound pad OTPw, verified inside
+//     the ECC chip before the write commits (stale-data defense,
+//     Section III-B).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"secddr/internal/cryptoeng"
+)
+
+// Mode selects which SecDDR defenses are active. The reduced modes exist to
+// demonstrate the paper's attack analysis: each one is vulnerable to
+// exactly the attacks Section III says it is.
+type Mode int
+
+const (
+	// ModeMACOnly is the TDX-like baseline: plain MACs protect data at
+	// rest, nothing protects the bus. Replay of a (Data, MAC) pair passes.
+	ModeMACOnly Mode = iota + 1
+	// ModeSecDDRNoEWCRC enables E-MACs (bus replay protection) but not the
+	// encrypted eWCRC: address-redirect stale-data attacks remain possible.
+	ModeSecDDRNoEWCRC
+	// ModeSecDDR is the full design: E-MACs plus encrypted eWCRC.
+	ModeSecDDR
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeMACOnly:
+		return "mac-only"
+	case ModeSecDDRNoEWCRC:
+		return "secddr-no-ewcrc"
+	case ModeSecDDR:
+		return "secddr"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ErrIntegrityViolation is returned by processor-side verification when a
+// read's MAC does not match: replay, tampering, counter desynchronization,
+// or at-rest corruption.
+var ErrIntegrityViolation = errors.New("core: MAC verification failed (integrity violation)")
+
+// ErrEWCRCMismatch is raised inside the ECC chip when a write's encrypted
+// eWCRC does not verify: the address or data was corrupted in flight.
+var ErrEWCRCMismatch = errors.New("core: eWCRC verification failed on DRAM device")
+
+// LineBytes is the protected cache-line size.
+const LineBytes = 64
+
+// MACBytes is the stored per-line MAC size.
+const MACBytes = 8
+
+// TxnCounter implements the even/odd transaction-counter discipline of
+// Section III-B: reads consume even counter values (2*readIdx), writes odd
+// ones (2*writeIdx+1), and the pad input additionally binds the total
+// transaction count. Both ends apply the same rule to the command stream
+// they observe, so dropping a transaction (total count skew), converting a
+// command's type (type-index skew), or substituting the DIMM (all indices
+// skewed) desynchronizes the one-time pads and surfaces as a MAC
+// verification failure on the processor.
+//
+// The consumed value packs the total count in the high 32 bits and the
+// typed value in the low 32 (the functional model's transaction volume
+// never approaches the 2^31 wrap; the real design uses a full 64-bit Ct).
+type TxnCounter struct {
+	reads  uint64
+	writes uint64
+}
+
+// NewTxnCounter starts both type indices at the agreed initial value
+// (Section III-F: the processor picks it at attestation).
+func NewTxnCounter(initial uint64) *TxnCounter {
+	v := initial & 0x3fffffff
+	return &TxnCounter{reads: v, writes: v}
+}
+
+// NewTxnCounterFromState rebuilds a counter from State() (snapshot
+// restoration: the frozen DIMM resumes exactly where it stopped).
+func NewTxnCounterFromState(state uint64) *TxnCounter {
+	return &TxnCounter{reads: state >> 32, writes: state & 0xffffffff}
+}
+
+// NextRead consumes the next even counter value.
+func (c *TxnCounter) NextRead() uint64 {
+	v := (c.reads+c.writes)<<32 | (c.reads*2)&0xffffffff
+	c.reads++
+	return v
+}
+
+// NextWrite consumes the next odd counter value.
+func (c *TxnCounter) NextWrite() uint64 {
+	v := (c.reads+c.writes)<<32 | (c.writes*2+1)&0xffffffff
+	c.writes++
+	return v
+}
+
+// State serializes the counter (snapshot/attestation).
+func (c *TxnCounter) State() uint64 { return c.reads<<32 | c.writes&0xffffffff }
+
+// Value returns the total transaction count consumed so far.
+func (c *TxnCounter) Value() uint64 { return c.reads + c.writes }
+
+// Keys holds the secrets shared between the processor and one rank's ECC
+// chip after attestation: the transaction key Kt (pad generation) and the
+// MAC key (processor-only; the DIMM never verifies MACs in SecDDR).
+type Keys struct {
+	Kt   []byte // 16-byte AES key for OTP generation
+	Kmac []byte // 16-byte AES key for line MACs (processor only)
+}
+
+// WriteMsg is one write transaction as it crosses the bus. Data and ECC
+// travel in parallel over the data and ECC pins; the eWCRC beats extend the
+// burst from 8 to 10 (Section III-B).
+type WriteMsg struct {
+	Addr cryptoeng.WriteAddress // CCCA signals (attacker-corruptible)
+	Data [LineBytes]byte
+	EMAC [MACBytes]byte // encrypted MAC on the ECC pins
+	CRCs [9]uint16      // per-device eWCRC (8 data slices + ECC slice)
+}
+
+// ReadMsg is a read command on the CCCA signals.
+type ReadMsg struct {
+	Addr cryptoeng.WriteAddress
+}
+
+// ReadResp carries the data burst and E-MAC back to the processor.
+type ReadResp struct {
+	Data [LineBytes]byte
+	EMAC [MACBytes]byte
+}
+
+// ProcessorEngine is the processor-side security logic: MAC generation and
+// verification, pad generation, and per-rank counters.
+type ProcessorEngine struct {
+	mode Mode
+	cmac *cryptoeng.CMAC
+	otp  *cryptoeng.OTPGenerator
+	ctrs []*TxnCounter
+
+	// Stats.
+	Writes, Reads, Violations uint64
+}
+
+// NewProcessorEngine builds the processor engine for `ranks` ranks.
+func NewProcessorEngine(mode Mode, keys Keys, ranks int, initialCt uint64) (*ProcessorEngine, error) {
+	cmac, err := cryptoeng.NewCMAC(keys.Kmac)
+	if err != nil {
+		return nil, fmt.Errorf("core: processor engine: %w", err)
+	}
+	otp, err := cryptoeng.NewOTPGenerator(keys.Kt)
+	if err != nil {
+		return nil, fmt.Errorf("core: processor engine: %w", err)
+	}
+	e := &ProcessorEngine{mode: mode, cmac: cmac, otp: otp}
+	for i := 0; i < ranks; i++ {
+		e.ctrs = append(e.ctrs, NewTxnCounter(initialCt))
+	}
+	return e, nil
+}
+
+// lineKey canonicalizes a write address for MAC binding (the MAC includes
+// the physical address, Section II-C).
+func lineKey(a cryptoeng.WriteAddress) uint64 {
+	return uint64(a.Rank)<<60 | uint64(a.BankGroup)<<56 | uint64(a.Bank)<<52 |
+		uint64(a.Row)<<20 | uint64(a.Column)
+}
+
+// PrepareWrite builds the bus message for one line write, consuming a write
+// counter value for the rank.
+func (e *ProcessorEngine) PrepareWrite(addr cryptoeng.WriteAddress, data [LineBytes]byte) WriteMsg {
+	e.Writes++
+	mac := e.cmac.LineMAC(lineKey(addr), data[:])
+	msg := WriteMsg{Addr: addr, Data: data}
+
+	emac := mac
+	var ct uint64
+	if e.mode != ModeMACOnly {
+		ct = e.ctrs[addr.Rank].NextWrite()
+		emac = cryptoeng.EncryptMAC(mac, e.otp.EMACPad(addr.Rank, ct))
+	}
+	msg.EMAC = emac
+
+	// Per-device eWCRC: slice i covers data bytes 8i..8i+7; slice 8 covers
+	// the (E-)MAC on the ECC pins.
+	for i := 0; i < 8; i++ {
+		msg.CRCs[i] = cryptoeng.EWCRC(addr, data[i*8:(i+1)*8])
+	}
+	eccCRC := cryptoeng.EWCRC(addr, emac[:])
+	if e.mode == ModeSecDDR {
+		eccCRC = cryptoeng.EncryptCRC(eccCRC, e.otp.EWCRCPad(addr.Rank, ct, lineKey(addr)))
+	}
+	msg.CRCs[8] = eccCRC
+	return msg
+}
+
+// BeginRead consumes the rank's read counter for an outgoing read command.
+// The returned counter is *not* transmitted; the DIMM derives the same
+// value from its own synchronized counter.
+func (e *ProcessorEngine) BeginRead(rank int) uint64 {
+	e.Reads++
+	if e.mode == ModeMACOnly {
+		return 0
+	}
+	return e.ctrs[rank].NextRead()
+}
+
+// VerifyRead checks a read response against the address the processor
+// believes it read and the counter value from BeginRead.
+func (e *ProcessorEngine) VerifyRead(addr cryptoeng.WriteAddress, ct uint64, resp ReadResp) error {
+	mac := resp.EMAC
+	if e.mode != ModeMACOnly {
+		mac = cryptoeng.EncryptMAC(resp.EMAC, e.otp.EMACPad(addr.Rank, ct))
+	}
+	if !e.cmac.VerifyTag64(macMsg(lineKey(addr), resp.Data[:]), mac) {
+		e.Violations++
+		return fmt.Errorf("%w (rank %d row %d col %d)",
+			ErrIntegrityViolation, addr.Rank, addr.Row, addr.Column)
+	}
+	return nil
+}
+
+// macMsg reproduces the LineMAC input layout.
+func macMsg(addr uint64, data []byte) []byte {
+	msg := make([]byte, 8+len(data))
+	for i := 0; i < 8; i++ {
+		msg[i] = byte(addr >> (8 * (7 - i)))
+	}
+	copy(msg[8:], data)
+	return msg
+}
+
+// ECCChipEngine is the security logic SecDDR places on the ECC chip of one
+// rank: pad generation and eWCRC verification. It never sees Kmac and never
+// verifies MACs (Section III-A: memory-side authentication is eliminated).
+type ECCChipEngine struct {
+	mode Mode
+	otp  *cryptoeng.OTPGenerator
+	ctr  *TxnCounter
+	rank int
+
+	// Stats.
+	WritesAccepted, WritesRejected, ReadsServed uint64
+}
+
+// NewECCChipEngine builds the engine for one rank's ECC chip.
+func NewECCChipEngine(mode Mode, kt []byte, rank int, initialCt uint64) (*ECCChipEngine, error) {
+	otp, err := cryptoeng.NewOTPGenerator(kt)
+	if err != nil {
+		return nil, fmt.Errorf("core: ECC chip engine: %w", err)
+	}
+	return &ECCChipEngine{mode: mode, otp: otp, ctr: NewTxnCounter(initialCt), rank: rank}, nil
+}
+
+// NewECCChipEngineFromState rebuilds an engine whose counter resumes from a
+// serialized state (modelling a physically preserved chip: its key register
+// and counter survive inside the package).
+func NewECCChipEngineFromState(mode Mode, kt []byte, rank int, state uint64) (*ECCChipEngine, error) {
+	otp, err := cryptoeng.NewOTPGenerator(kt)
+	if err != nil {
+		return nil, fmt.Errorf("core: ECC chip engine: %w", err)
+	}
+	return &ECCChipEngine{mode: mode, otp: otp, ctr: NewTxnCounterFromState(state), rank: rank}, nil
+}
+
+// HandleWrite processes an incoming write burst: it consumes a write
+// counter, decrypts the E-MAC, and (in full SecDDR) verifies the encrypted
+// eWCRC against the address the chip actually observed. On success it
+// returns the plain MAC to store beside the data. On eWCRC mismatch the
+// write is rejected before commit (the device signals an error).
+func (e *ECCChipEngine) HandleWrite(msg WriteMsg) (mac [MACBytes]byte, err error) {
+	var ct uint64
+	if e.mode != ModeMACOnly {
+		// The chip consumes an odd (write) counter for any write burst it
+		// observes — including one an attacker converted from a read,
+		// which is exactly what desynchronizes the two ends.
+		ct = e.ctr.NextWrite()
+		mac = cryptoeng.EncryptMAC(msg.EMAC, e.otp.EMACPad(e.rank, ct))
+	} else {
+		mac = msg.EMAC
+	}
+	if e.mode == ModeSecDDR {
+		got := cryptoeng.EncryptCRC(msg.CRCs[8], e.otp.EWCRCPad(e.rank, ct, lineKey(msg.Addr)))
+		want := cryptoeng.EWCRC(msg.Addr, msg.EMAC[:])
+		if got != want {
+			e.WritesRejected++
+			return mac, fmt.Errorf("%w (rank %d row %d)", ErrEWCRCMismatch, e.rank, msg.Addr.Row)
+		}
+	}
+	e.WritesAccepted++
+	return mac, nil
+}
+
+// HandleRead re-encrypts the stored MAC for transmission, consuming a read
+// counter value.
+func (e *ECCChipEngine) HandleRead(storedMAC [MACBytes]byte) ReadRespMAC {
+	e.ReadsServed++
+	if e.mode == ModeMACOnly {
+		return ReadRespMAC{EMAC: storedMAC}
+	}
+	ct := e.ctr.NextRead()
+	return ReadRespMAC{EMAC: cryptoeng.EncryptMAC(storedMAC, e.otp.EMACPad(e.rank, ct)), Ct: ct}
+}
+
+// ReadRespMAC is the ECC chip's contribution to a read response.
+type ReadRespMAC struct {
+	EMAC [MACBytes]byte
+	Ct   uint64
+}
+
+// Counter exposes the chip's transaction counter (attestation/substitution
+// modelling).
+func (e *ECCChipEngine) Counter() *TxnCounter { return e.ctr }
+
+// CounterOf exposes the processor's counter for a rank.
+func (e *ProcessorEngine) CounterOf(rank int) *TxnCounter { return e.ctrs[rank] }

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"secddr/internal/cryptoeng"
+)
+
+func testKeys() Keys {
+	return Keys{Kt: []byte("0123456789abcdef"), Kmac: []byte("fedcba9876543210")}
+}
+
+func newPair(t *testing.T, mode Mode) (*ProcessorEngine, *ECCChipEngine) {
+	t.Helper()
+	p, err := NewProcessorEngine(mode, testKeys(), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewECCChipEngine(mode, testKeys().Kt, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, e
+}
+
+func addr(row uint32) cryptoeng.WriteAddress {
+	return cryptoeng.WriteAddress{Rank: 0, BankGroup: 1, Bank: 2, Row: row, Column: 3}
+}
+
+func line(b byte) (d [LineBytes]byte) {
+	for i := range d {
+		d[i] = b ^ byte(i*5)
+	}
+	return d
+}
+
+func TestWriteThenReadVerifies(t *testing.T) {
+	for _, mode := range []Mode{ModeMACOnly, ModeSecDDRNoEWCRC, ModeSecDDR} {
+		t.Run(mode.String(), func(t *testing.T) {
+			p, e := newPair(t, mode)
+			msg := p.PrepareWrite(addr(7), line(0xaa))
+			mac, err := e.HandleWrite(msg)
+			if err != nil {
+				t.Fatalf("HandleWrite: %v", err)
+			}
+			ct := p.BeginRead(0)
+			resp := ReadResp{Data: msg.Data, EMAC: e.HandleRead(mac).EMAC}
+			if err := p.VerifyRead(addr(7), ct, resp); err != nil {
+				t.Errorf("benign read failed: %v", err)
+			}
+		})
+	}
+}
+
+func TestStoredMACIsPlaintextMAC(t *testing.T) {
+	// Section III-A: "MACs are stored un-encrypted in memory". The MAC the
+	// chip recovers must equal the processor's plain line MAC.
+	p, e := newPair(t, ModeSecDDR)
+	msg := p.PrepareWrite(addr(1), line(1))
+	stored, err := e.HandleWrite(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := cryptoeng.NewCMAC(testKeys().Kmac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cm.LineMAC(lineKey(addr(1)), msg.Data[:])
+	if stored != want {
+		t.Error("chip-decrypted MAC differs from the processor's plain MAC")
+	}
+}
+
+func TestEMACIsNotPlainMAC(t *testing.T) {
+	p, _ := newPair(t, ModeSecDDR)
+	msg := p.PrepareWrite(addr(1), line(1))
+	cm, _ := cryptoeng.NewCMAC(testKeys().Kmac)
+	plain := cm.LineMAC(lineKey(addr(1)), msg.Data[:])
+	if msg.EMAC == plain {
+		t.Error("E-MAC equals plain MAC: bus is unprotected")
+	}
+}
+
+func TestEMACNeverRepeatsAcrossWrites(t *testing.T) {
+	// Temporal uniqueness: identical (addr, data) written repeatedly must
+	// produce distinct E-MACs (Section III-A).
+	p, _ := newPair(t, ModeSecDDR)
+	seen := map[[8]byte]bool{}
+	for i := 0; i < 256; i++ {
+		msg := p.PrepareWrite(addr(1), line(1))
+		if seen[msg.EMAC] {
+			t.Fatalf("E-MAC repeated at write %d", i)
+		}
+		seen[msg.EMAC] = true
+	}
+}
+
+func TestTamperedEMACOnBusDetected(t *testing.T) {
+	f := func(flipByte, flipBit uint8) bool {
+		p, e := newPair(t, ModeSecDDRNoEWCRC)
+		msg := p.PrepareWrite(addr(2), line(2))
+		msg.EMAC[flipByte%8] ^= 1 << (flipBit % 8)
+		mac, _ := e.HandleWrite(msg)
+		ct := p.BeginRead(0)
+		resp := ReadResp{Data: msg.Data, EMAC: e.HandleRead(mac).EMAC}
+		return p.VerifyRead(addr(2), ct, resp) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTamperedDataOnBusDetected(t *testing.T) {
+	f := func(flipByte, flipBit uint8) bool {
+		p, e := newPair(t, ModeSecDDRNoEWCRC)
+		msg := p.PrepareWrite(addr(2), line(2))
+		msg.Data[flipByte%LineBytes] ^= 1 << (flipBit % 8)
+		mac, _ := e.HandleWrite(msg)
+		ct := p.BeginRead(0)
+		resp := ReadResp{Data: msg.Data, EMAC: e.HandleRead(mac).EMAC}
+		return p.VerifyRead(addr(2), ct, resp) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEWCRCRejectsCorruptedAddress(t *testing.T) {
+	p, e := newPair(t, ModeSecDDR)
+	msg := p.PrepareWrite(addr(5), line(5))
+	msg.Addr.Row ^= 0x3
+	// Attacker fixes the public data-chip CRCs but cannot fix slice 8.
+	if _, err := e.HandleWrite(msg); !errors.Is(err, ErrEWCRCMismatch) {
+		t.Errorf("corrupted address accepted by ECC chip: %v", err)
+	}
+	if e.WritesRejected != 1 {
+		t.Errorf("WritesRejected = %d", e.WritesRejected)
+	}
+}
+
+func TestEWCRCPassesCleanWrites(t *testing.T) {
+	p, e := newPair(t, ModeSecDDR)
+	for i := uint32(0); i < 64; i++ {
+		if _, err := e.HandleWrite(p.PrepareWrite(addr(i), line(byte(i)))); err != nil {
+			t.Fatalf("clean write %d rejected: %v", i, err)
+		}
+	}
+	if e.WritesAccepted != 64 {
+		t.Errorf("WritesAccepted = %d", e.WritesAccepted)
+	}
+}
+
+func TestPerRankChannelsIndependent(t *testing.T) {
+	// Section III-E: each rank has its own counter and channel.
+	p, err := NewProcessorEngine(ModeSecDDR, testKeys(), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a0 := cryptoeng.WriteAddress{Rank: 0, Row: 1}
+	a1 := cryptoeng.WriteAddress{Rank: 1, Row: 1}
+	m0 := p.PrepareWrite(a0, line(9))
+	m1 := p.PrepareWrite(a1, line(9))
+	if m0.EMAC == m1.EMAC {
+		t.Error("ranks share E-MAC pads")
+	}
+	if p.CounterOf(0).Value() != 1 || p.CounterOf(1).Value() != 1 {
+		t.Error("per-rank counters not independent")
+	}
+}
+
+func TestCounterStateRoundTrip(t *testing.T) {
+	c := NewTxnCounter(5)
+	c.NextRead()
+	c.NextWrite()
+	c.NextWrite()
+	restored := NewTxnCounterFromState(c.State())
+	if restored.NextRead() != c.NextRead() {
+		t.Error("state round trip diverged on read")
+	}
+	if restored.NextWrite() != c.NextWrite() {
+		t.Error("state round trip diverged on write")
+	}
+}
+
+func TestDesyncCausesVerificationFailure(t *testing.T) {
+	p, e := newPair(t, ModeSecDDR)
+	msg := p.PrepareWrite(addr(3), line(3))
+	mac, _ := e.HandleWrite(msg)
+	// DIMM serves one extra phantom read (attacker-induced).
+	e.HandleRead(mac)
+	ct := p.BeginRead(0)
+	resp := ReadResp{Data: msg.Data, EMAC: e.HandleRead(mac).EMAC}
+	if err := p.VerifyRead(addr(3), ct, resp); !errors.Is(err, ErrIntegrityViolation) {
+		t.Errorf("counter desync not detected: %v", err)
+	}
+	if p.Violations != 1 {
+		t.Errorf("Violations = %d", p.Violations)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeMACOnly.String() != "mac-only" || ModeSecDDR.String() != "secddr" ||
+		ModeSecDDRNoEWCRC.String() != "secddr-no-ewcrc" {
+		t.Error("mode names wrong")
+	}
+	if Mode(0).String() == "" {
+		t.Error("unknown mode stringifies empty")
+	}
+}
+
+func TestBadKeysRejected(t *testing.T) {
+	if _, err := NewProcessorEngine(ModeSecDDR, Keys{Kt: []byte("short"), Kmac: make([]byte, 16)}, 1, 0); err == nil {
+		t.Error("short Kt accepted")
+	}
+	if _, err := NewProcessorEngine(ModeSecDDR, Keys{Kt: make([]byte, 16), Kmac: []byte("x")}, 1, 0); err == nil {
+		t.Error("short Kmac accepted")
+	}
+	if _, err := NewECCChipEngine(ModeSecDDR, []byte("nope"), 0, 0); err == nil {
+		t.Error("short chip key accepted")
+	}
+}

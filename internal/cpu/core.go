@@ -1,0 +1,285 @@
+// Package cpu implements the trace-driven out-of-order core model from
+// Table I of the paper: 6-wide fetch/retire, a 224-entry reorder buffer,
+// in-order retirement with loads blocking at the ROB head until their data
+// returns, stores draining through a write buffer, and optional load-load
+// dependencies (pointer chasing) that cap memory-level parallelism.
+//
+// The model is a ROB-window limit study: non-memory instructions retire at
+// full width, so IPC is governed by LLC-miss latency, bandwidth, and MLP —
+// the quantities that drive every result in the paper's evaluation.
+package cpu
+
+import (
+	"fmt"
+
+	"secddr/internal/config"
+)
+
+// Op is one memory operation in a workload trace, preceded by Gap
+// non-memory instructions.
+type Op struct {
+	Gap         int
+	Addr        uint64
+	Store       bool
+	DependsPrev bool // load address depends on the previous load's data
+}
+
+// OpSource produces the core's instruction stream. Next returns false when
+// the trace is exhausted.
+type OpSource interface {
+	Next() (Op, bool)
+}
+
+// LoadResult describes how the memory hierarchy handled a load.
+type LoadResult struct {
+	Accepted bool  // false: structural stall, retry next cycle
+	Async    bool  // completion will arrive via Core.CompleteLoad
+	ReadyAt  int64 // CPU cycle data is ready (valid when !Async)
+	Token    uint64
+}
+
+// Memory is the core's port into the cache hierarchy and security engine.
+type Memory interface {
+	Load(addr uint64, now int64) LoadResult
+	// Store submits a committed store; false applies backpressure.
+	Store(addr uint64, now int64) bool
+}
+
+type entryKind int
+
+const (
+	kindBatch entryKind = iota + 1 // n plain ALU instructions
+	kindLoad
+	kindStore
+)
+
+type robEntry struct {
+	kind    entryKind
+	n       int // batch size (1 for memory ops)
+	addr    uint64
+	ready   bool
+	readyAt int64
+	token   uint64
+}
+
+// Core is one out-of-order core.
+type Core struct {
+	cfg config.Core
+	mem Memory
+	src OpSource
+
+	rob    []robEntry
+	head   int
+	slots  int // occupied ring entries
+	instrs int // instructions in flight (sum of entry n)
+
+	tokens map[uint64]int // async load token -> rob slot
+
+	gapLeft int
+	nextOp  Op
+	haveOp  bool
+	srcDone bool
+
+	lastLoadToken uint64
+	lastLoadReady int64 // -1: in flight; otherwise ready cycle
+	haveLastLoad  bool
+
+	// Stats.
+	Retired      uint64
+	Cycles       uint64
+	LoadsIssued  uint64
+	StoresIssued uint64
+	RetireStalls uint64 // cycles the ROB head blocked retirement
+	FetchStalls  uint64 // cycles fetch was blocked (ROB full / memory)
+}
+
+// NewCore builds a core reading ops from src and accessing mem.
+func NewCore(cfg config.Core, mem Memory, src OpSource) *Core {
+	return &Core{
+		cfg:           cfg,
+		mem:           mem,
+		src:           src,
+		rob:           make([]robEntry, cfg.ROBEntries),
+		tokens:        make(map[uint64]int),
+		lastLoadReady: 0,
+	}
+}
+
+// Done reports whether the trace is exhausted and the pipeline drained.
+func (c *Core) Done() bool {
+	return c.srcDone && c.slots == 0 && !c.haveOp && c.gapLeft == 0
+}
+
+// IPC returns retired instructions per cycle so far.
+func (c *Core) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Retired) / float64(c.Cycles)
+}
+
+// CompleteLoad delivers an asynchronous load completion. readyAt is the CPU
+// cycle at which the data became usable.
+func (c *Core) CompleteLoad(token uint64, readyAt int64) {
+	slot, ok := c.tokens[token]
+	if !ok {
+		return // e.g. prefetch or stale token
+	}
+	delete(c.tokens, token)
+	e := &c.rob[slot]
+	e.ready = true
+	e.readyAt = readyAt
+	if c.haveLastLoad && token == c.lastLoadToken {
+		c.lastLoadReady = readyAt
+	}
+}
+
+// Tick advances the core one CPU cycle: retire then fetch/dispatch.
+func (c *Core) Tick(now int64) {
+	c.Cycles++
+	c.retire(now)
+	c.fetch(now)
+}
+
+func (c *Core) retire(now int64) {
+	budget := c.cfg.RetireWidth
+	for budget > 0 && c.slots > 0 {
+		e := &c.rob[c.head]
+		switch e.kind {
+		case kindBatch:
+			take := e.n
+			if take > budget {
+				take = budget
+			}
+			e.n -= take
+			budget -= take
+			c.Retired += uint64(take)
+			c.instrs -= take
+			if e.n > 0 {
+				return // width exhausted mid-batch
+			}
+		case kindLoad:
+			if !e.ready || e.readyAt > now {
+				c.RetireStalls++
+				return // head blocked on memory
+			}
+			budget--
+			c.Retired++
+			c.instrs--
+		case kindStore:
+			if !c.mem.Store(e.addr, now) {
+				c.RetireStalls++
+				return // write-buffer backpressure
+			}
+			c.StoresIssued++
+			budget--
+			c.Retired++
+			c.instrs--
+		}
+		c.head = (c.head + 1) % len(c.rob)
+		c.slots--
+	}
+}
+
+func (c *Core) fetch(now int64) {
+	budget := c.cfg.FetchWidth
+	for budget > 0 {
+		if c.instrs >= c.cfg.ROBEntries || c.slots == len(c.rob) {
+			c.FetchStalls++
+			return
+		}
+		// Refill the op cursor.
+		if !c.haveOp && c.gapLeft == 0 {
+			if c.srcDone {
+				return
+			}
+			op, ok := c.src.Next()
+			if !ok {
+				c.srcDone = true
+				return
+			}
+			c.nextOp = op
+			c.haveOp = true
+			c.gapLeft = op.Gap
+		}
+		if c.gapLeft > 0 {
+			take := c.gapLeft
+			if take > budget {
+				take = budget
+			}
+			if room := c.cfg.ROBEntries - c.instrs; take > room {
+				take = room
+			}
+			if take == 0 {
+				c.FetchStalls++
+				return
+			}
+			c.pushBatch(take)
+			c.gapLeft -= take
+			budget -= take
+			continue
+		}
+		// Dispatch the memory op.
+		if c.nextOp.Store {
+			c.push(robEntry{kind: kindStore, n: 1, addr: c.nextOp.Addr})
+			c.haveOp = false
+			budget--
+			continue
+		}
+		// Pointer-chase dependency: the address is unknown until the
+		// previous load's data returns.
+		if c.nextOp.DependsPrev && c.haveLastLoad &&
+			(c.lastLoadReady < 0 || c.lastLoadReady > now) {
+			c.FetchStalls++
+			return
+		}
+		res := c.mem.Load(c.nextOp.Addr, now)
+		if !res.Accepted {
+			c.FetchStalls++
+			return
+		}
+		c.LoadsIssued++
+		e := robEntry{kind: kindLoad, n: 1, addr: c.nextOp.Addr}
+		if res.Async {
+			e.token = res.Token
+			c.tokens[res.Token] = (c.head + c.slots) % len(c.rob)
+			c.lastLoadToken = res.Token
+			c.lastLoadReady = -1
+		} else {
+			e.ready = true
+			e.readyAt = res.ReadyAt
+			c.lastLoadReady = res.ReadyAt
+		}
+		c.haveLastLoad = true
+		c.push(e)
+		c.haveOp = false
+		budget--
+	}
+}
+
+func (c *Core) push(e robEntry) {
+	c.rob[(c.head+c.slots)%len(c.rob)] = e
+	c.slots++
+	c.instrs += e.n
+}
+
+// pushBatch inserts n plain instructions, coalescing with a trailing batch
+// entry so a long gap occupies one ring slot while still counting n
+// instructions against ROB capacity.
+func (c *Core) pushBatch(n int) {
+	if c.slots > 0 {
+		tail := &c.rob[(c.head+c.slots-1)%len(c.rob)]
+		if tail.kind == kindBatch {
+			tail.n += n
+			c.instrs += n
+			return
+		}
+	}
+	c.push(robEntry{kind: kindBatch, n: n})
+}
+
+// String summarizes core state.
+func (c *Core) String() string {
+	return fmt.Sprintf("core{rob=%d/%d retired=%d ipc=%.2f}",
+		c.instrs, c.cfg.ROBEntries, c.Retired, c.IPC())
+}

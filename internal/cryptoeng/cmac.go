@@ -1,0 +1,125 @@
+// Package cryptoeng implements the cryptographic and coding primitives the
+// SecDDR protocol is built from: AES-CMAC message authentication (NIST
+// SP 800-38B), the one-time-pad generator used for E-MACs and encrypted
+// eWCRC, the CRC-16 used for the DDR4-style write CRC, and a SECDED(72,64)
+// Hamming code modelling the ECC function that shares the ECC chip with the
+// MACs.
+//
+// Everything here is bit-accurate and backed by the Go standard library's
+// AES implementation; no security property in the functional model is
+// "asserted" — it is computed.
+package cryptoeng
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/subtle"
+	"fmt"
+)
+
+// CMAC computes AES-CMAC (OMAC1) tags. It implements NIST SP 800-38B over
+// AES-128/192/256 depending on key length.
+type CMAC struct {
+	block cipher.Block
+	k1    [16]byte
+	k2    [16]byte
+}
+
+// NewCMAC constructs a CMAC instance from an AES key (16, 24, or 32 bytes).
+func NewCMAC(key []byte) (*CMAC, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoeng: new CMAC: %w", err)
+	}
+	c := &CMAC{block: block}
+	var l [16]byte
+	block.Encrypt(l[:], l[:])
+	c.k1 = dbl(l)
+	c.k2 = dbl(c.k1)
+	return c, nil
+}
+
+// dbl doubles a 128-bit value in GF(2^128) with the CMAC reduction
+// polynomial (x^128 + x^7 + x^2 + x + 1).
+func dbl(in [16]byte) [16]byte {
+	var out [16]byte
+	var carry byte
+	for i := 15; i >= 0; i-- {
+		out[i] = in[i]<<1 | carry
+		carry = in[i] >> 7
+	}
+	if carry != 0 {
+		out[15] ^= 0x87
+	}
+	return out
+}
+
+// Sum computes the full 16-byte CMAC tag of msg.
+func (c *CMAC) Sum(msg []byte) [16]byte {
+	var x [16]byte
+	n := len(msg)
+	full := n / 16
+	rem := n % 16
+	complete := rem == 0 && n > 0
+
+	blocks := full
+	if complete {
+		blocks-- // final complete block handled specially
+	}
+	for i := 0; i < blocks; i++ {
+		for j := 0; j < 16; j++ {
+			x[j] ^= msg[i*16+j]
+		}
+		c.block.Encrypt(x[:], x[:])
+	}
+
+	var last [16]byte
+	if complete {
+		copy(last[:], msg[(full-1)*16:])
+		for j := 0; j < 16; j++ {
+			last[j] ^= c.k1[j]
+		}
+	} else {
+		copy(last[:], msg[full*16:])
+		last[rem] = 0x80
+		for j := 0; j < 16; j++ {
+			last[j] ^= c.k2[j]
+		}
+	}
+	for j := 0; j < 16; j++ {
+		x[j] ^= last[j]
+	}
+	c.block.Encrypt(x[:], x[:])
+	return x
+}
+
+// Tag64 computes the truncated 8-byte tag used as the per-line MAC. The
+// paper stores an 8-byte MAC per 64-byte line in the ECC chip.
+func (c *CMAC) Tag64(msg []byte) [8]byte {
+	full := c.Sum(msg)
+	var t [8]byte
+	copy(t[:], full[:8])
+	return t
+}
+
+// VerifyTag64 reports whether tag matches msg in constant time.
+func (c *CMAC) VerifyTag64(msg []byte, tag [8]byte) bool {
+	want := c.Tag64(msg)
+	return subtle.ConstantTimeCompare(want[:], tag[:]) == 1
+}
+
+// LineMAC computes the MAC the processor attaches to one cache line:
+// MAC = CMAC(K, addr64 || data). Including the physical address defeats
+// relocation/splicing attacks (Section II-C of the paper).
+func (c *CMAC) LineMAC(addr uint64, data []byte) [8]byte {
+	msg := make([]byte, 8+len(data))
+	putUint64(msg, addr)
+	copy(msg[8:], data)
+	return c.Tag64(msg)
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * (7 - i)))
+	}
+}

@@ -1,0 +1,124 @@
+package cryptoeng
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+// RFC 4493 AES-128-CMAC test vectors.
+func TestCMACRFC4493(t *testing.T) {
+	key := "2b7e151628aed2a6abf7158809cf4f3c"
+	msg := "6bc1bee22e409f96e93d7e117393172a" +
+		"ae2d8a571e03ac9c9eb76fac45af8e51" +
+		"30c81c46a35ce411e5fbc1191a0a52ef" +
+		"f69f2445df4f9b17ad2b417be66c3710"
+	tests := []struct {
+		name   string
+		msgLen int // bytes of msg prefix
+		want   string
+	}{
+		{"empty", 0, "bb1d6929e95937287fa37d129b756746"},
+		{"one-block", 16, "070a16b46b4d4144f79bdd9dd04a287c"},
+		{"40-bytes", 40, "dfa66747de9ae63030ca32611497c827"},
+		{"four-blocks", 64, "51f0bebf7e3b9d92fc49741779363cfe"},
+	}
+	c, err := NewCMAC(mustHex(t, key))
+	if err != nil {
+		t.Fatalf("NewCMAC: %v", err)
+	}
+	full := mustHex(t, msg)
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := c.Sum(full[:tt.msgLen])
+			if !bytes.Equal(got[:], mustHex(t, tt.want)) {
+				t.Errorf("CMAC = %x, want %s", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCMACBadKey(t *testing.T) {
+	if _, err := NewCMAC(make([]byte, 5)); err == nil {
+		t.Error("NewCMAC accepted 5-byte key")
+	}
+}
+
+func TestTag64Truncation(t *testing.T) {
+	c, err := NewCMAC(make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("hello, secure world")
+	full := c.Sum(msg)
+	tag := c.Tag64(msg)
+	if !bytes.Equal(tag[:], full[:8]) {
+		t.Error("Tag64 is not the truncation of Sum")
+	}
+	if !c.VerifyTag64(msg, tag) {
+		t.Error("VerifyTag64 rejected a valid tag")
+	}
+	tag[0] ^= 1
+	if c.VerifyTag64(msg, tag) {
+		t.Error("VerifyTag64 accepted a corrupted tag")
+	}
+}
+
+func TestLineMACAddressBinding(t *testing.T) {
+	c, err := NewCMAC(mustHex(t, "000102030405060708090a0b0c0d0e0f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 64)
+	m1 := c.LineMAC(0x1000, data)
+	m2 := c.LineMAC(0x1040, data)
+	if m1 == m2 {
+		t.Error("LineMAC identical for different addresses; splicing attacks possible")
+	}
+}
+
+func TestLineMACDataSensitivityProperty(t *testing.T) {
+	c, err := NewCMAC(make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(addr uint64, data [64]byte, flipByte uint8, flipBit uint8) bool {
+		mac := c.LineMAC(addr, data[:])
+		mutated := data
+		mutated[int(flipByte)%64] ^= 1 << (flipBit % 8)
+		if mutated == data {
+			return true // no actual flip
+		}
+		return c.LineMAC(addr, mutated[:]) != mac
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDbl(t *testing.T) {
+	// From RFC 4493 subkey generation: L = AES-0x2b..(0^128) for the RFC key.
+	// K1 = dbl(L), K2 = dbl(K1).
+	c, err := NewCMAC(mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantK1 := mustHex(t, "fbeed618357133667c85e08f7236a8de")
+	wantK2 := mustHex(t, "f7ddac306ae266ccf90bc11ee46d513b")
+	if !bytes.Equal(c.k1[:], wantK1) {
+		t.Errorf("K1 = %x, want %x", c.k1, wantK1)
+	}
+	if !bytes.Equal(c.k2[:], wantK2) {
+		t.Errorf("K2 = %x, want %x", c.k2, wantK2)
+	}
+}

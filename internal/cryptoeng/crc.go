@@ -1,0 +1,66 @@
+package cryptoeng
+
+// CRC-16/CCITT (polynomial x^16 + x^12 + x^5 + 1, 0x1021), bit-serial
+// MSB-first, zero initial value. DDR4's per-device write CRC is a short CRC
+// transmitted over the final burst beats; we model it at 16 bits per device
+// transaction as the paper does ("16b eWCRC", Section III-B).
+
+const _crcPoly = 0x1021
+
+var _crcTable = makeCRCTable()
+
+func makeCRCTable() [256]uint16 {
+	var t [256]uint16
+	for i := 0; i < 256; i++ {
+		crc := uint16(i) << 8
+		for b := 0; b < 8; b++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ _crcPoly
+			} else {
+				crc <<= 1
+			}
+		}
+		t[i] = crc
+	}
+	return t
+}
+
+// CRC16 computes the CRC-16/CCITT of data.
+func CRC16(data []byte) uint16 {
+	var crc uint16
+	for _, b := range data {
+		crc = crc<<8 ^ _crcTable[byte(crc>>8)^b]
+	}
+	return crc
+}
+
+// WriteAddress identifies the DRAM location of a write at device
+// granularity, as encoded into the eWCRC by the memory controller
+// (AI-ECC Fig. 4: rank, bank, row, and column are included).
+type WriteAddress struct {
+	Rank      int
+	BankGroup int
+	Bank      int
+	Row       uint32
+	Column    uint32
+}
+
+// Encode serializes the address fields for CRC computation.
+func (w WriteAddress) Encode() []byte {
+	return []byte{
+		byte(w.Rank), byte(w.BankGroup), byte(w.Bank),
+		byte(w.Row >> 24), byte(w.Row >> 16), byte(w.Row >> 8), byte(w.Row),
+		byte(w.Column >> 24), byte(w.Column >> 16), byte(w.Column >> 8), byte(w.Column),
+	}
+}
+
+// EWCRC computes the extended write CRC for one device's slice of a write
+// burst: a CRC-16 over the write address followed by the device data. Each
+// DRAM chip verifies its own slice before committing the write, detecting
+// writes whose address was corrupted in flight (Section III-B).
+func EWCRC(addr WriteAddress, deviceData []byte) uint16 {
+	buf := make([]byte, 0, 11+len(deviceData))
+	buf = append(buf, addr.Encode()...)
+	buf = append(buf, deviceData...)
+	return CRC16(buf)
+}

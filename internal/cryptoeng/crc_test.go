@@ -1,0 +1,94 @@
+package cryptoeng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCRC16KnownVectors(t *testing.T) {
+	// CRC-16/CCITT (XModem variant: init 0, poly 0x1021, MSB first).
+	tests := []struct {
+		in   string
+		want uint16
+	}{
+		{"", 0x0000},
+		{"123456789", 0x31C3}, // standard XMODEM check value
+		{"A", 0x58E5},
+	}
+	for _, tt := range tests {
+		if got := CRC16([]byte(tt.in)); got != tt.want {
+			t.Errorf("CRC16(%q) = %#04x, want %#04x", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestCRC16DetectsSingleBitFlips(t *testing.T) {
+	f := func(data [16]byte, byteIdx, bitIdx uint8) bool {
+		orig := CRC16(data[:])
+		mut := data
+		mut[int(byteIdx)%len(mut)] ^= 1 << (bitIdx % 8)
+		return CRC16(mut[:]) != orig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCRC16DetectsBurstErrors(t *testing.T) {
+	// CRC-16 detects all burst errors up to 16 bits.
+	data := make([]byte, 32)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	orig := CRC16(data)
+	for start := 0; start < 16; start++ {
+		mut := append([]byte(nil), data...)
+		mut[start] ^= 0xff
+		mut[start+1] ^= 0xff
+		if CRC16(mut) == orig {
+			t.Errorf("16-bit burst at byte %d undetected", start)
+		}
+	}
+}
+
+func TestWriteAddressEncodeDistinct(t *testing.T) {
+	a := WriteAddress{Rank: 0, BankGroup: 1, Bank: 2, Row: 3, Column: 4}
+	b := a
+	b.Row = 5
+	if EWCRC(a, nil) == EWCRC(b, nil) {
+		t.Error("eWCRC identical for different rows")
+	}
+	c := a
+	c.Column = 9
+	if EWCRC(a, nil) == EWCRC(c, nil) {
+		t.Error("eWCRC identical for different columns")
+	}
+}
+
+// The stale-data defense: redirecting a write to a different row or column
+// changes the eWCRC, so the DRAM chip detects the mismatch before storing.
+func TestEWCRCCatchesAddressCorruption(t *testing.T) {
+	data := []byte{0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4}
+	good := WriteAddress{Rank: 1, BankGroup: 2, Bank: 3, Row: 0x1234, Column: 0x40}
+	f := func(rowDelta, colDelta uint16) bool {
+		if rowDelta == 0 && colDelta == 0 {
+			return true
+		}
+		bad := good
+		bad.Row ^= uint32(rowDelta)
+		bad.Column ^= uint32(colDelta)
+		return EWCRC(good, data) != EWCRC(bad, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEWCRCDataSensitivity(t *testing.T) {
+	addr := WriteAddress{Rank: 0, BankGroup: 0, Bank: 0, Row: 1, Column: 1}
+	d1 := []byte{0, 0, 0, 0, 0, 0, 0, 0}
+	d2 := []byte{0, 0, 0, 0, 0, 0, 0, 1}
+	if EWCRC(addr, d1) == EWCRC(addr, d2) {
+		t.Error("eWCRC identical for different device data")
+	}
+}

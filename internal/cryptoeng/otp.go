@@ -1,0 +1,85 @@
+package cryptoeng
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"fmt"
+)
+
+// OTPGenerator produces the one-time pads SecDDR uses to encrypt MACs
+// (E-MAC) and write CRCs (encrypted eWCRC). Both sides of the channel (the
+// processor's memory controller and the ECC chip) instantiate one with the
+// shared transaction key Kt established at attestation; synchronized
+// transaction counters guarantee pad agreement.
+//
+// Pads are derived as:
+//
+//	OTPt  = AES_Kt( 0x01 || rank || Ct )          — E-MAC pad (Section III-A)
+//	OTPw  = AES_Kt( 0x02 || rank || Ct || addr )  — eWCRC pad (Section III-B)
+//
+// The domain-separation byte keeps the two pad streams independent even for
+// identical counters.
+type OTPGenerator struct {
+	block cipher.Block
+}
+
+// NewOTPGenerator builds a pad generator from the shared transaction key.
+func NewOTPGenerator(key []byte) (*OTPGenerator, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoeng: new OTP generator: %w", err)
+	}
+	return &OTPGenerator{block: block}, nil
+}
+
+// EMACPad returns the 8-byte pad for the E-MAC of the transaction with
+// counter ct on the given rank.
+func (g *OTPGenerator) EMACPad(rank int, ct uint64) [8]byte {
+	var in, out [16]byte
+	in[0] = 0x01
+	in[1] = byte(rank)
+	binary.BigEndian.PutUint64(in[8:], ct)
+	g.block.Encrypt(out[:], in[:])
+	var pad [8]byte
+	copy(pad[:], out[:8])
+	return pad
+}
+
+// EWCRCPad returns the 2-byte pad for the 16-bit encrypted eWCRC of a write
+// transaction. It binds the pad to the write address so that address
+// corruption flips many bits of the decrypted CRC (Section III-B:
+// "a separate OTPw for write commands that uses the same key and transaction
+// counter, but also includes the address used in eWCRC").
+func (g *OTPGenerator) EWCRCPad(rank int, ct uint64, addr uint64) [2]byte {
+	var in, out [16]byte
+	in[0] = 0x02
+	in[1] = byte(rank)
+	binary.BigEndian.PutUint64(in[2:], addr)
+	// Overlap-free: counter goes in the last 6 bytes' worth of space; use
+	// bytes 10..15 plus xor-fold the top bits into the address field.
+	binary.BigEndian.PutUint32(in[10:], uint32(ct))
+	in[14] = byte(ct >> 32)
+	in[15] = byte(ct >> 40)
+	in[2] ^= byte(ct >> 48)
+	in[3] ^= byte(ct >> 56)
+	g.block.Encrypt(out[:], in[:])
+	var pad [2]byte
+	copy(pad[:], out[:2])
+	return pad
+}
+
+// EncryptMAC applies the E-MAC transformation: E-MAC = MAC XOR OTPt.
+// The same function decrypts (XOR is an involution).
+func EncryptMAC(mac [8]byte, pad [8]byte) [8]byte {
+	var out [8]byte
+	for i := range out {
+		out[i] = mac[i] ^ pad[i]
+	}
+	return out
+}
+
+// EncryptCRC applies the encrypted-eWCRC transformation (involution).
+func EncryptCRC(crc uint16, pad [2]byte) uint16 {
+	return crc ^ uint16(pad[0])<<8 ^ uint16(pad[1])
+}

@@ -1,0 +1,125 @@
+package cryptoeng
+
+import "math/bits"
+
+// SECDED implements a (72,64) Hamming single-error-correct /
+// double-error-detect code, the classic per-beat ECC used by server DIMMs.
+// In SecDDR's baseline (SafeGuard/TDX-style layout) the ECC chip carries
+// both this parity and the line MAC; the SECDED codec lets the functional
+// model exercise that layout bit-accurately.
+//
+// The code is a standard extended Hamming code: 7 parity bits at power-of-two
+// positions of a 71-bit codeword plus one overall parity bit.
+
+// SECDEDResult reports the outcome of a decode.
+type SECDEDResult int
+
+const (
+	// SECDEDOk means the codeword was clean.
+	SECDEDOk SECDEDResult = iota + 1
+	// SECDEDCorrected means a single-bit error was corrected.
+	SECDEDCorrected
+	// SECDEDUncorrectable means a double-bit (or worse detectable) error.
+	SECDEDUncorrectable
+)
+
+// String returns a short name for the result.
+func (r SECDEDResult) String() string {
+	switch r {
+	case SECDEDOk:
+		return "ok"
+	case SECDEDCorrected:
+		return "corrected"
+	case SECDEDUncorrectable:
+		return "uncorrectable"
+	default:
+		return "invalid"
+	}
+}
+
+// secdedPositions maps data bit i (0..63) to its position in the 1-indexed
+// 72-bit extended Hamming codeword (positions that are not powers of two).
+var _secdedPos = buildPositions()
+
+func buildPositions() [64]int {
+	var pos [64]int
+	i := 0
+	for p := 1; p <= 71 && i < 64; p++ {
+		if p&(p-1) == 0 { // power of two -> parity position
+			continue
+		}
+		pos[i] = p
+		i++
+	}
+	return pos
+}
+
+// SECDEDEncode computes the 8 check bits for a 64-bit data word. Bits 0..6
+// of the returned byte are the Hamming parity bits P1,P2,P4,...,P64; bit 7
+// is the overall parity.
+func SECDEDEncode(data uint64) uint8 {
+	var cw [73]bool // 1-indexed codeword positions
+	for i := 0; i < 64; i++ {
+		cw[_secdedPos[i]] = data>>uint(i)&1 == 1
+	}
+	var check uint8
+	for pi := 0; pi < 7; pi++ {
+		p := 1 << uint(pi)
+		parity := false
+		for pos := 1; pos <= 71; pos++ {
+			if pos&p != 0 && cw[pos] {
+				parity = !parity
+			}
+		}
+		if parity {
+			check |= 1 << uint(pi)
+			cw[p] = true
+		}
+	}
+	// Overall parity over codeword plus data parity -> even total.
+	overall := bits.OnesCount64(data)&1 == 1
+	for pi := 0; pi < 7; pi++ {
+		if check&(1<<uint(pi)) != 0 {
+			overall = !overall
+		}
+	}
+	if overall {
+		check |= 0x80
+	}
+	return check
+}
+
+// SECDEDDecode checks (and possibly corrects) a data word against its check
+// byte. It returns the corrected data and the decode outcome.
+func SECDEDDecode(data uint64, check uint8) (uint64, SECDEDResult) {
+	expected := SECDEDEncode(data)
+	syndrome := (expected ^ check) & 0x7f
+	// Overall parity of the received 72-bit codeword (data, the seven stored
+	// Hamming bits, and the stored overall bit). Even for a clean word and
+	// for double-bit errors; odd for any single-bit error.
+	overallOdd := (bits.OnesCount64(data)+bits.OnesCount8(check))&1 == 1
+
+	switch {
+	case syndrome == 0 && !overallOdd:
+		return data, SECDEDOk
+	case syndrome == 0 && overallOdd:
+		// Error in the overall parity bit itself: data is fine.
+		return data, SECDEDCorrected
+	case overallOdd:
+		// Single-bit error at codeword position = syndrome.
+		pos := int(syndrome)
+		if pos&(pos-1) == 0 {
+			// A parity bit flipped; data unaffected.
+			return data, SECDEDCorrected
+		}
+		for i := 0; i < 64; i++ {
+			if _secdedPos[i] == pos {
+				return data ^ 1<<uint(i), SECDEDCorrected
+			}
+		}
+		return data, SECDEDUncorrectable
+	default:
+		// Nonzero syndrome with good overall parity: double-bit error.
+		return data, SECDEDUncorrectable
+	}
+}

@@ -1,0 +1,106 @@
+package cryptoeng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSECDEDClean(t *testing.T) {
+	for _, d := range []uint64{0, 1, 0xffffffffffffffff, 0xdeadbeefcafebabe} {
+		check := SECDEDEncode(d)
+		got, res := SECDEDDecode(d, check)
+		if res != SECDEDOk || got != d {
+			t.Errorf("clean decode of %#x: res=%v data=%#x", d, res, got)
+		}
+	}
+}
+
+func TestSECDEDCorrectsAllSingleDataBitErrors(t *testing.T) {
+	data := uint64(0xdeadbeefcafebabe)
+	check := SECDEDEncode(data)
+	for bit := 0; bit < 64; bit++ {
+		corrupted := data ^ 1<<uint(bit)
+		got, res := SECDEDDecode(corrupted, check)
+		if res != SECDEDCorrected {
+			t.Fatalf("bit %d: result = %v, want corrected", bit, res)
+		}
+		if got != data {
+			t.Fatalf("bit %d: corrected to %#x, want %#x", bit, got, data)
+		}
+	}
+}
+
+func TestSECDEDCorrectsCheckBitErrors(t *testing.T) {
+	data := uint64(0x0123456789abcdef)
+	check := SECDEDEncode(data)
+	for bit := 0; bit < 8; bit++ {
+		got, res := SECDEDDecode(data, check^1<<uint(bit))
+		if res != SECDEDCorrected {
+			t.Fatalf("check bit %d: result = %v, want corrected", bit, res)
+		}
+		if got != data {
+			t.Fatalf("check bit %d: data corrupted to %#x", bit, got)
+		}
+	}
+}
+
+func TestSECDEDDetectsDoubleBitErrors(t *testing.T) {
+	data := uint64(0xa5a5a5a55a5a5a5a)
+	check := SECDEDEncode(data)
+	for b1 := 0; b1 < 64; b1 += 7 {
+		for b2 := b1 + 1; b2 < 64; b2 += 11 {
+			corrupted := data ^ 1<<uint(b1) ^ 1<<uint(b2)
+			_, res := SECDEDDecode(corrupted, check)
+			if res != SECDEDUncorrectable {
+				t.Fatalf("double error (%d,%d): result = %v, want uncorrectable", b1, b2, res)
+			}
+		}
+	}
+}
+
+func TestSECDEDSingleCorrectionProperty(t *testing.T) {
+	f := func(data uint64, bit uint8) bool {
+		check := SECDEDEncode(data)
+		corrupted := data ^ 1<<uint(bit%64)
+		got, res := SECDEDDecode(corrupted, check)
+		return res == SECDEDCorrected && got == data
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSECDEDDoubleDetectionProperty(t *testing.T) {
+	f := func(data uint64, b1, b2 uint8) bool {
+		i, j := uint(b1%64), uint(b2%64)
+		if i == j {
+			return true
+		}
+		check := SECDEDEncode(data)
+		_, res := SECDEDDecode(data^1<<i^1<<j, check)
+		return res == SECDEDUncorrectable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSECDEDMixedDataCheckDouble(t *testing.T) {
+	// One data bit + one check bit flipped must also be flagged.
+	data := uint64(0x1122334455667788)
+	check := SECDEDEncode(data)
+	_, res := SECDEDDecode(data^1<<13, check^1<<2)
+	if res != SECDEDUncorrectable {
+		t.Errorf("data+check double error: result = %v, want uncorrectable", res)
+	}
+}
+
+func TestSECDEDResultString(t *testing.T) {
+	if SECDEDOk.String() != "ok" || SECDEDCorrected.String() != "corrected" ||
+		SECDEDUncorrectable.String() != "uncorrectable" {
+		t.Error("SECDEDResult.String mismatch")
+	}
+	if SECDEDResult(0).String() != "invalid" {
+		t.Error("zero SECDEDResult should stringify as invalid")
+	}
+}

@@ -1,0 +1,106 @@
+package dram
+
+import (
+	"fmt"
+	"math/bits"
+
+	"secddr/internal/config"
+)
+
+// AddressMapper translates physical line addresses to DRAM locations.
+//
+// Bit layout (LSB to MSB): line offset | bank group | channel | column |
+// bank | rank | row. Placing the bank-group bits directly above the line
+// offset lets streaming accesses alternate bank groups (exploiting the
+// shorter tCCD_S), while column bits below bank/rank keep a contiguous
+// region inside one row for row-buffer locality. The bank and bank-group
+// indices are additionally XOR-hashed with low row bits
+// (permutation-based interleaving) to spread row conflicts.
+type AddressMapper struct {
+	lineBits int
+	bgBits   int
+	chBits   int
+	colBits  int
+	bankBits int
+	rankBits int
+	rowBits  int
+}
+
+// NewAddressMapper builds a mapper for the DRAM organization.
+func NewAddressMapper(cfg config.DRAM) (*AddressMapper, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &AddressMapper{
+		lineBits: log2(cfg.LineBytes),
+		bgBits:   log2(cfg.BankGroups),
+		chBits:   log2(cfg.Channels),
+		colBits:  log2(cfg.RowBytes / cfg.LineBytes),
+		bankBits: log2(cfg.BanksPerGroup()),
+		rankBits: log2(cfg.Ranks),
+		rowBits:  log2int64(cfg.Rows()),
+	}
+	for _, f := range []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"line", 1 << m.lineBits, cfg.LineBytes},
+		{"bank group", 1 << m.bgBits, cfg.BankGroups},
+		{"channel", 1 << m.chBits, cfg.Channels},
+		{"column", 1 << m.colBits, cfg.RowBytes / cfg.LineBytes},
+		{"bank", 1 << m.bankBits, cfg.BanksPerGroup()},
+		{"rank", 1 << m.rankBits, cfg.Ranks},
+	} {
+		if f.got != f.want {
+			return nil, fmt.Errorf("dram: %s count %d is not a power of two", f.name, f.want)
+		}
+	}
+	if int64(1)<<m.rowBits != cfg.Rows() {
+		return nil, fmt.Errorf("dram: row count %d is not a power of two", cfg.Rows())
+	}
+	return m, nil
+}
+
+func log2(v int) int        { return bits.Len(uint(v)) - 1 }
+func log2int64(v int64) int { return bits.Len64(uint64(v)) - 1 }
+
+// Map translates a physical byte address to its channel index and location.
+func (m *AddressMapper) Map(addr uint64) (int, Loc) {
+	a := addr >> uint(m.lineBits)
+	take := func(n int) uint64 {
+		v := a & (1<<uint(n) - 1)
+		a >>= uint(n)
+		return v
+	}
+	bg := take(m.bgBits)
+	ch := take(m.chBits)
+	col := take(m.colBits)
+	bank := take(m.bankBits)
+	rank := take(m.rankBits)
+	row := a & (1<<uint(m.rowBits) - 1)
+
+	// Permutation-based interleaving: hash low row bits into bank and group.
+	if m.bankBits > 0 {
+		bank ^= row & (1<<uint(m.bankBits) - 1)
+	}
+	if m.bgBits > 0 {
+		bg ^= (row >> uint(m.bankBits)) & (1<<uint(m.bgBits) - 1)
+	}
+
+	return int(ch), Loc{
+		Rank:      int(rank),
+		BankGroup: int(bg),
+		Bank:      int(bank),
+		Row:       uint32(row),
+		Col:       uint32(col),
+	}
+}
+
+// LinesPerRow returns how many cache lines one row buffer holds.
+func (m *AddressMapper) LinesPerRow() int { return 1 << uint(m.colBits) }
+
+// TotalBits returns the number of address bits consumed by the mapping.
+func (m *AddressMapper) TotalBits() int {
+	return m.lineBits + m.bgBits + m.chBits + m.colBits + m.bankBits + m.rankBits + m.rowBits
+}

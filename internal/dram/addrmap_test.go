@@ -1,0 +1,112 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newTestMapper(t *testing.T) *AddressMapper {
+	t.Helper()
+	m, err := NewAddressMapper(testDRAM(false))
+	if err != nil {
+		t.Fatalf("NewAddressMapper: %v", err)
+	}
+	return m
+}
+
+func TestMapperGeometry(t *testing.T) {
+	m := newTestMapper(t)
+	if m.LinesPerRow() != 128 {
+		t.Errorf("lines per row = %d, want 128 (8KB row / 64B line)", m.LinesPerRow())
+	}
+	if m.TotalBits() != 34 {
+		t.Errorf("total bits = %d, want 34 (16GB)", m.TotalBits())
+	}
+}
+
+func TestMapInjectivity(t *testing.T) {
+	// Distinct line addresses must map to distinct locations.
+	m := newTestMapper(t)
+	type key struct {
+		ch  int
+		loc Loc
+	}
+	seen := make(map[key]uint64)
+	for i := uint64(0); i < 1<<14; i++ {
+		addr := i * 64
+		ch, loc := m.Map(addr)
+		k := key{ch, loc}
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("addresses %#x and %#x map to same location %+v", prev, addr, loc)
+		}
+		seen[k] = addr
+	}
+}
+
+func TestMapFieldsInRange(t *testing.T) {
+	m := newTestMapper(t)
+	cfg := testDRAM(false)
+	f := func(addr uint64) bool {
+		addr %= uint64(cfg.CapacityBytes)
+		ch, loc := m.Map(addr)
+		return ch == 0 &&
+			loc.Rank >= 0 && loc.Rank < cfg.Ranks &&
+			loc.BankGroup >= 0 && loc.BankGroup < cfg.BankGroups &&
+			loc.Bank >= 0 && loc.Bank < cfg.BanksPerGroup() &&
+			int64(loc.Row) < cfg.Rows() &&
+			int(loc.Col) < m.LinesPerRow()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamingAlternatesBankGroups(t *testing.T) {
+	// Consecutive lines should land in different bank groups so streams
+	// exploit tCCD_S.
+	m := newTestMapper(t)
+	_, a := m.Map(0)
+	_, b := m.Map(64)
+	if a.BankGroup == b.BankGroup {
+		t.Errorf("consecutive lines in same bank group %d", a.BankGroup)
+	}
+	if a.Row != b.Row && a.Rank == b.Rank && a.Bank == b.Bank {
+		t.Error("consecutive lines changed rows within one bank")
+	}
+}
+
+func TestSameLineSameLocation(t *testing.T) {
+	m := newTestMapper(t)
+	_, a := m.Map(0x12345678)
+	_, b := m.Map(0x12345678 &^ 63)
+	if a != b {
+		t.Error("offsets within a line mapped to different locations")
+	}
+}
+
+func TestMapperRejectsBadGeometry(t *testing.T) {
+	bad := testDRAM(false)
+	bad.BankGroups = 3
+	bad.Banks = 15
+	if _, err := NewAddressMapper(bad); err == nil {
+		t.Error("mapper accepted non-power-of-two bank groups")
+	}
+}
+
+func TestMultiChannelMapping(t *testing.T) {
+	cfg := testDRAM(false)
+	cfg.Channels = 2
+	cfg.CapacityBytes = 32 << 30
+	m, err := NewAddressMapper(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenCh := map[int]bool{}
+	for i := uint64(0); i < 64; i++ {
+		ch, _ := m.Map(i * 64)
+		seenCh[ch] = true
+	}
+	if len(seenCh) != 2 {
+		t.Errorf("channels used = %v, want both", seenCh)
+	}
+}

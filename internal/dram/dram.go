@@ -1,0 +1,366 @@
+// Package dram implements a cycle-level DDR4 channel model: per-bank state
+// machines, a full JEDEC timing-constraint engine (tRCD/tRP/tRAS/tCCD_S/L/
+// tWTR_S/L/tWR/tRTP/tRRD_S/L/tFAW/tREFI/tRFC), a shared data bus with
+// variable burst length (BL8 reads; BL10 writes when SecDDR's eWCRC is
+// enabled), bank groups, multiple ranks with rank-to-rank turnaround, and
+// all-bank refresh.
+//
+// The model is command-accurate in the style of Ramulator: a memory
+// controller decides which command to issue each memory-clock cycle; the
+// channel tracks legality and earliest-issue times and reports data
+// completion cycles.
+package dram
+
+import (
+	"fmt"
+
+	"secddr/internal/config"
+)
+
+// Command is a DDR command type.
+type Command int
+
+// DDR commands modelled by the channel.
+const (
+	CmdACT Command = iota + 1 // activate (open) a row
+	CmdPRE                    // precharge (close) a bank
+	CmdRD                     // column read
+	CmdWR                     // column write
+	CmdREF                    // all-bank refresh (per rank)
+)
+
+// String returns the JEDEC-style mnemonic.
+func (c Command) String() string {
+	switch c {
+	case CmdACT:
+		return "ACT"
+	case CmdPRE:
+		return "PRE"
+	case CmdRD:
+		return "RD"
+	case CmdWR:
+		return "WR"
+	case CmdREF:
+		return "REF"
+	default:
+		return fmt.Sprintf("Command(%d)", int(c))
+	}
+}
+
+// Loc addresses a DRAM location at command granularity.
+type Loc struct {
+	Rank      int
+	BankGroup int
+	Bank      int // bank index within the bank group
+	Row       uint32
+	Col       uint32 // column in units of cache lines
+}
+
+// bankState tracks one bank's open row and earliest-issue cycles.
+type bankState struct {
+	openRow int64 // -1 when closed
+	nextACT int64
+	nextPRE int64
+	nextRD  int64
+	nextWR  int64
+}
+
+// rankState tracks rank-wide constraints (tFAW, refresh).
+type rankState struct {
+	banks      []bankState // indexed by bankGroup*banksPerGroup + bank
+	actWindow  [4]int64    // cycle times of the last four ACTs (tFAW)
+	actIdx     int
+	nextREF    int64 // next refresh deadline
+	refBusy    int64 // rank unusable until this cycle due to refresh
+	pendingREF bool
+}
+
+// Channel is one DDR channel: ranks sharing a command bus and a data bus.
+type Channel struct {
+	cfg  config.DRAM
+	t    config.DRAMTiming
+	rank []rankState
+
+	banksPerGroup int
+	readBL        int64 // data-bus beats/2 (memory-clock cycles) per read burst
+	writeBL       int64
+
+	dataBusFreeAt int64
+	lastBurstRank int
+	lastCmdCycle  int64 // command bus: one command per cycle
+
+	// Stats
+	NumACT, NumPRE, NumRD, NumWR, NumREF uint64
+	RowHits, RowMisses, RowConflicts     uint64
+	DataBusBusyCycles                    uint64
+}
+
+// NewChannel constructs a channel from the DRAM configuration.
+func NewChannel(cfg config.DRAM) (*Channel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ch := &Channel{
+		cfg:           cfg,
+		t:             cfg.Timing,
+		banksPerGroup: cfg.BanksPerGroup(),
+		readBL:        int64((cfg.ReadBurstBeats + 1) / 2),
+		writeBL:       int64((cfg.WriteBurstBeats + 1) / 2),
+		lastBurstRank: -1,
+		lastCmdCycle:  -1,
+	}
+	ch.rank = make([]rankState, cfg.Ranks)
+	for r := range ch.rank {
+		banks := make([]bankState, cfg.Banks)
+		for b := range banks {
+			banks[b].openRow = -1
+		}
+		ch.rank[r].banks = banks
+		for i := range ch.rank[r].actWindow {
+			ch.rank[r].actWindow[i] = -1 << 40 // no ACT yet: tFAW inactive
+		}
+		if cfg.RefreshEnabled {
+			// Stagger refresh across ranks to avoid lockstep stalls.
+			ch.rank[r].nextREF = int64(cfg.Timing.TREFI) * int64(r+2) / int64(cfg.Ranks+1)
+		} else {
+			ch.rank[r].nextREF = 1 << 62
+		}
+	}
+	return ch, nil
+}
+
+// Config returns the channel's configuration.
+func (c *Channel) Config() config.DRAM { return c.cfg }
+
+func (c *Channel) bankIdx(loc Loc) int { return loc.BankGroup*c.banksPerGroup + loc.Bank }
+
+func (c *Channel) bank(loc Loc) *bankState {
+	return &c.rank[loc.Rank].banks[c.bankIdx(loc)]
+}
+
+// OpenRow returns the open row of the addressed bank and whether any row is
+// open.
+func (c *Channel) OpenRow(loc Loc) (uint32, bool) {
+	b := c.bank(loc)
+	if b.openRow < 0 {
+		return 0, false
+	}
+	return uint32(b.openRow), true
+}
+
+// RefreshDue reports whether the rank has crossed its refresh deadline and
+// must be refreshed before further commands.
+func (c *Channel) RefreshDue(rank int, now int64) bool {
+	return c.cfg.RefreshEnabled && now >= c.rank[rank].nextREF
+}
+
+// EarliestIssue returns the earliest cycle >= now at which the command could
+// legally issue. It accounts for bank timing, rank constraints (tFAW,
+// refresh), the shared data bus for column commands, and the one-command-
+// per-cycle command bus.
+func (c *Channel) EarliestIssue(cmd Command, loc Loc, now int64) int64 {
+	rk := &c.rank[loc.Rank]
+	b := c.bank(loc)
+	earliest := now
+	if c.lastCmdCycle >= earliest {
+		earliest = c.lastCmdCycle + 1
+	}
+	if rk.refBusy > earliest {
+		earliest = rk.refBusy
+	}
+
+	switch cmd {
+	case CmdACT:
+		if b.nextACT > earliest {
+			earliest = b.nextACT
+		}
+		// tFAW: at most four ACTs per rank per window.
+		if oldest := rk.actWindow[rk.actIdx]; oldest+int64(c.t.TFAW) > earliest {
+			earliest = oldest + int64(c.t.TFAW)
+		}
+	case CmdPRE:
+		if b.nextPRE > earliest {
+			earliest = b.nextPRE
+		}
+	case CmdRD:
+		if b.nextRD > earliest {
+			earliest = b.nextRD
+		}
+		earliest = c.busConstrained(earliest, loc.Rank, int64(c.t.TCL), c.readBL)
+	case CmdWR:
+		if b.nextWR > earliest {
+			earliest = b.nextWR
+		}
+		earliest = c.busConstrained(earliest, loc.Rank, int64(c.t.TCWL), c.writeBL)
+	case CmdREF:
+		// All banks must be precharged and past their ACT->PRE windows.
+		for i := range rk.banks {
+			if rk.banks[i].openRow >= 0 {
+				return -1 // caller must precharge first
+			}
+			if rk.banks[i].nextACT > earliest {
+				earliest = rk.banks[i].nextACT
+			}
+		}
+	}
+	return earliest
+}
+
+// busConstrained pushes a column command until its data burst fits on the
+// shared data bus, including the rank-to-rank switch gap.
+func (c *Channel) busConstrained(cmdCycle int64, rank int, lat, bl int64) int64 {
+	free := c.dataBusFreeAt
+	if c.lastBurstRank >= 0 && c.lastBurstRank != rank {
+		free += int64(c.t.TRTRS)
+	}
+	if cmdCycle+lat < free {
+		cmdCycle = free - lat
+	}
+	return cmdCycle
+}
+
+// CanIssue reports whether cmd may issue exactly at cycle now.
+func (c *Channel) CanIssue(cmd Command, loc Loc, now int64) bool {
+	e := c.EarliestIssue(cmd, loc, now)
+	return e >= 0 && e == now
+}
+
+// Issue executes the command at cycle now. For RD and WR it returns the
+// cycle at which the data burst completes (data available for reads; write
+// fully transferred for writes). Issue panics if the command is illegal at
+// now: the controller must consult EarliestIssue/CanIssue first — an illegal
+// issue is a scheduler bug, not a runtime condition.
+func (c *Channel) Issue(cmd Command, loc Loc, now int64) int64 {
+	if e := c.EarliestIssue(cmd, loc, now); e != now {
+		panic(fmt.Sprintf("dram: illegal %v to r%d/bg%d/b%d at cycle %d (earliest %d)",
+			cmd, loc.Rank, loc.BankGroup, loc.Bank, now, e))
+	}
+	rk := &c.rank[loc.Rank]
+	b := c.bank(loc)
+	c.lastCmdCycle = now
+
+	switch cmd {
+	case CmdACT:
+		c.NumACT++
+		b.openRow = int64(loc.Row)
+		b.nextRD = max64(b.nextRD, now+int64(c.t.TRCD))
+		b.nextWR = max64(b.nextWR, now+int64(c.t.TRCD))
+		b.nextPRE = max64(b.nextPRE, now+int64(c.t.TRAS))
+		// tRRD: ACT-to-ACT spacing within the rank.
+		for i := range rk.banks {
+			ob := &rk.banks[i]
+			if i == c.bankIdx(loc) {
+				continue
+			}
+			if i/c.banksPerGroup == loc.BankGroup {
+				ob.nextACT = max64(ob.nextACT, now+int64(c.t.TRRDL))
+			} else {
+				ob.nextACT = max64(ob.nextACT, now+int64(c.t.TRRDS))
+			}
+		}
+		rk.actWindow[rk.actIdx] = now
+		rk.actIdx = (rk.actIdx + 1) % len(rk.actWindow)
+		return 0
+
+	case CmdPRE:
+		c.NumPRE++
+		b.openRow = -1
+		b.nextACT = max64(b.nextACT, now+int64(c.t.TRP))
+		return 0
+
+	case CmdRD:
+		c.NumRD++
+		dataStart := now + int64(c.t.TCL)
+		dataEnd := dataStart + c.readBL
+		c.occupyBus(dataStart, dataEnd, loc.Rank)
+		b.nextPRE = max64(b.nextPRE, now+int64(c.t.TRTP))
+		c.applyColToCol(loc, now)
+		// Read-to-write turnaround (bus direction change): WR command must
+		// wait so its data follows the read burst plus 2-cycle gap.
+		rdToWr := now + int64(c.t.TCL) + c.readBL + 2 - int64(c.t.TCWL)
+		for r := range c.rank {
+			for i := range c.rank[r].banks {
+				ob := &c.rank[r].banks[i]
+				ob.nextWR = max64(ob.nextWR, rdToWr)
+			}
+		}
+		return dataEnd
+
+	case CmdWR:
+		c.NumWR++
+		dataStart := now + int64(c.t.TCWL)
+		dataEnd := dataStart + c.writeBL
+		c.occupyBus(dataStart, dataEnd, loc.Rank)
+		b.nextPRE = max64(b.nextPRE, dataEnd+int64(c.t.TWR))
+		c.applyColToCol(loc, now)
+		// Write-to-read turnaround: same-rank reads wait tWTR after the
+		// write data completes; the _L/_S distinction is by bank group.
+		for i := range rk.banks {
+			ob := &rk.banks[i]
+			if i/c.banksPerGroup == loc.BankGroup {
+				ob.nextRD = max64(ob.nextRD, dataEnd+int64(c.t.TWTRL))
+			} else {
+				ob.nextRD = max64(ob.nextRD, dataEnd+int64(c.t.TWTRS))
+			}
+		}
+		return dataEnd
+
+	case CmdREF:
+		c.NumREF++
+		rk.refBusy = now + int64(c.t.TRFC)
+		rk.nextREF += int64(c.t.TREFI)
+		rk.pendingREF = false
+		for i := range rk.banks {
+			rk.banks[i].nextACT = max64(rk.banks[i].nextACT, rk.refBusy)
+		}
+		return rk.refBusy
+
+	default:
+		panic(fmt.Sprintf("dram: unknown command %v", cmd))
+	}
+}
+
+// applyColToCol enforces tCCD_S/tCCD_L between successive column commands
+// within the channel (same vs different bank group of the issuing rank).
+func (c *Channel) applyColToCol(loc Loc, now int64) {
+	for r := range c.rank {
+		for i := range c.rank[r].banks {
+			ob := &c.rank[r].banks[i]
+			var gap int64
+			if r == loc.Rank && i/c.banksPerGroup == loc.BankGroup {
+				gap = int64(c.t.TCCDL)
+			} else {
+				gap = int64(c.t.TCCDS)
+			}
+			ob.nextRD = max64(ob.nextRD, now+gap)
+			ob.nextWR = max64(ob.nextWR, now+gap)
+		}
+	}
+}
+
+func (c *Channel) occupyBus(start, end int64, rank int) {
+	c.DataBusBusyCycles += uint64(end - start)
+	c.dataBusFreeAt = end
+	c.lastBurstRank = rank
+}
+
+// RecordRowOutcome lets the controller attribute a row-buffer outcome for
+// statistics (hit: open row matched; miss: bank closed; conflict: wrong row
+// open, precharge needed).
+func (c *Channel) RecordRowOutcome(hit, conflict bool) {
+	switch {
+	case hit:
+		c.RowHits++
+	case conflict:
+		c.RowConflicts++
+	default:
+		c.RowMisses++
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

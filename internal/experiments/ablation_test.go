@@ -1,0 +1,105 @@
+package experiments
+
+import "testing"
+
+func ablScale() Scale {
+	s := QuickScale()
+	s.InstrPerCore = 40_000
+	s.WarmupInstr = 20_000
+	s.Workloads = []string{"pr"}
+	return s
+}
+
+func TestAblationFootprintScaling(t *testing.T) {
+	rows, err := AblationFootprintScaling(ablScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (3 footprints x 2 configs)", len(rows))
+	}
+	byKey := map[string]float64{}
+	for _, r := range rows {
+		byKey[r.Param+"/"+r.Label] = r.Value
+	}
+	// The scalability claim: a larger protected working set hurts the tree
+	// far more than SecDDR.
+	if byKey["1536MB/tree-64ary"] > byKey["96MB/tree-64ary"] {
+		t.Errorf("tree at 1536MB (%.3f) not slower than at 96MB (%.3f)",
+			byKey["1536MB/tree-64ary"], byKey["96MB/tree-64ary"])
+	}
+	treeDrop := byKey["96MB/tree-64ary"] - byKey["1536MB/tree-64ary"]
+	secDrop := byKey["96MB/secddr+ctr"] - byKey["1536MB/secddr+ctr"]
+	if secDrop > treeDrop {
+		t.Errorf("SecDDR footprint sensitivity (%.3f) exceeds the tree's (%.3f)", secDrop, treeDrop)
+	}
+}
+
+func TestAblationEWCRC(t *testing.T) {
+	s := ablScale()
+	s.Workloads = []string{"lbm"} // write-intensive: the burst cost shows
+	rows, err := AblationEWCRC(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]float64{}
+	for _, r := range rows {
+		byLabel[r.Label] = r.Value
+	}
+	if byLabel["with-ewcrc"] > byLabel["no-ewcrc"]*1.005 {
+		t.Errorf("eWCRC bursts (%.3f) outperform BL8 (%.3f)", byLabel["with-ewcrc"], byLabel["no-ewcrc"])
+	}
+}
+
+func TestAblationMetadataCacheMonotone(t *testing.T) {
+	rows, err := AblationMetadataCache(ablScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Bigger metadata cache must not hurt the tree (allow small noise).
+	if rows[len(rows)-1].Value < rows[0].Value*0.98 {
+		t.Errorf("512KB metadata cache (%.3f) worse than 32KB (%.3f)",
+			rows[len(rows)-1].Value, rows[0].Value)
+	}
+}
+
+func TestAblationCryptoLatency(t *testing.T) {
+	rows, err := AblationCryptoLatency(ablScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]float64{}
+	for _, r := range rows {
+		byLabel[r.Param] = r.Value
+	}
+	// XTS pays the latency on every access: 80 cycles must not beat 20.
+	if byLabel["xts@80"] > byLabel["xts@20"]*1.005 {
+		t.Errorf("xts@80 (%.3f) faster than xts@20 (%.3f)", byLabel["xts@80"], byLabel["xts@20"])
+	}
+	// Counter mode hides it on metadata hits: sensitivity must be smaller.
+	xtsSpan := byLabel["xts@20"] - byLabel["xts@80"]
+	ctrSpan := byLabel["ctr@20"] - byLabel["ctr@80"]
+	if ctrSpan > xtsSpan+0.02 {
+		t.Errorf("counter mode more latency-sensitive (%.3f) than XTS (%.3f)", ctrSpan, xtsSpan)
+	}
+}
+
+func TestAblationDDR5EWCRCPenaltySmaller(t *testing.T) {
+	s := ablScale()
+	s.Workloads = []string{"lbm"} // write-intensive: the burst cost shows
+	rows, err := AblationDDR5EWCRC(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	ddr4, ddr5 := rows[0].Value, rows[1].Value
+	// The relative eWCRC penalty must shrink (ratio closer to 1) on DDR5.
+	if 1-ddr5 > (1-ddr4)+0.01 {
+		t.Errorf("DDR5 eWCRC penalty (%.3f) not smaller than DDR4 (%.3f)", 1-ddr5, 1-ddr4)
+	}
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps experiment tests fast: two contrasting workloads at
+// reduced instruction counts.
+func tinyScale() Scale {
+	s := QuickScale()
+	s.InstrPerCore = 40_000
+	s.WarmupInstr = 20_000
+	s.Workloads = []string{"mcf", "lbm"}
+	return s
+}
+
+func TestFig6Structure(t *testing.T) {
+	fig, err := Fig6(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 5 {
+		t.Fatalf("series = %d, want 5", len(fig.Series))
+	}
+	if len(fig.Workloads) != 2 {
+		t.Fatalf("workloads = %d", len(fig.Workloads))
+	}
+	// Encrypt-only CTR is the normalization baseline: its bars must be 1.
+	for _, s := range fig.Series {
+		if s.Label != "encrypt-only-ctr" {
+			continue
+		}
+		for w, v := range s.Values {
+			if v < 0.999 || v > 1.001 {
+				t.Errorf("baseline bar %s = %v, want 1.0", w, v)
+			}
+		}
+	}
+}
+
+func TestFig6TreeBelowBaseline(t *testing.T) {
+	fig, err := Fig6(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		if s.Label != "tree-64ary" {
+			continue
+		}
+		if v := s.Values["mcf"]; v >= 1.0 {
+			t.Errorf("tree on mcf = %.3f, want < 1", v)
+		}
+	}
+}
+
+func TestFig7Rows(t *testing.T) {
+	rows, err := Fig7(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.LLCMPKI <= 0 {
+			t.Errorf("%s MPKI = %v", r.Workload, r.LLCMPKI)
+		}
+		if r.MetaMissRate < 0 || r.MetaMissRate > 1 {
+			t.Errorf("%s meta miss rate = %v", r.Workload, r.MetaMissRate)
+		}
+	}
+	out := FormatFig7(rows)
+	if !strings.Contains(out, "mcf") {
+		t.Error("Fig7 output missing workload row")
+	}
+}
+
+func TestFig8Ordering(t *testing.T) {
+	s := tinyScale()
+	s.Workloads = []string{"mcf"}
+	bars, err := Fig8(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bars) != 9 {
+		t.Fatalf("bars = %d, want 9", len(bars))
+	}
+	byKey := map[string]float64{}
+	for _, b := range bars {
+		byKey[b.Group+"/"+b.Label] = b.Value
+	}
+	// The paper's ordering: deeper trees hurt more; 8-ary hash tree is the
+	// worst tree; SecDDR roughly tracks encrypt-only at every packing.
+	if byKey["8/tree"] >= byKey["64/tree"] {
+		t.Errorf("8-ary tree (%.3f) not worse than 64-ary (%.3f)", byKey["8/tree"], byKey["64/tree"])
+	}
+	if byKey["64/secddr"] < byKey["64/tree"] {
+		t.Errorf("SecDDR (%.3f) below the 64-ary tree (%.3f)", byKey["64/secddr"], byKey["64/tree"])
+	}
+}
+
+func TestFig10RealisticBelowUnrealistic(t *testing.T) {
+	fig, err := Fig10(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]map[string]float64{}
+	for _, s := range fig.Series {
+		vals[s.Label] = s.Values
+	}
+	for _, w := range fig.Workloads {
+		if vals["invisimem-real@2400"][w] > vals["invisimem-unreal@3200"][w] {
+			t.Errorf("%s: realistic InvisiMem faster than unrealistic", w)
+		}
+		if vals["secddr"][w] < vals["invisimem-real@2400"][w]*0.98 {
+			t.Errorf("%s: SecDDR (%.3f) below realistic InvisiMem (%.3f)",
+				w, vals["secddr"][w], vals["invisimem-real@2400"][w])
+		}
+	}
+}
+
+func TestUnknownWorkloadRejected(t *testing.T) {
+	s := tinyScale()
+	s.Workloads = []string{"quake3"}
+	if _, err := Fig6(s); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestFormatContainsGmeans(t *testing.T) {
+	fig, err := Fig6(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := fig.Format()
+	if !strings.Contains(out, "gmean-memint") || !strings.Contains(out, "gmean-all") {
+		t.Error("formatted figure missing gmean rows")
+	}
+}

@@ -1,0 +1,118 @@
+// Package integrity models the geometry of integrity trees over secure
+// memory metadata: counter trees of arbitrary arity (the paper's 64-ary
+// baseline, the 128-ary MorphTree-like design) and 8-ary hash (Merkle)
+// trees over MACs. It computes the metadata addresses a tree walk touches;
+// the secmem engine combines those with the shared metadata cache to decide
+// which levels actually go to DRAM.
+package integrity
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Tree describes one integrity tree and, for counter mode, the encryption-
+// counter layout its leaves protect.
+type Tree struct {
+	arity      int
+	lineBytes  int
+	perLeaf    int // data lines covered per leaf metadata line
+	dataLines  int64
+	levels     []level // 0 = leaves
+	rootOnChip bool
+}
+
+type level struct {
+	nodes int64
+	base  uint64
+}
+
+// New constructs a tree protecting dataBytes of memory.
+//
+//   - lineBytes: metadata line size (64B).
+//   - perLeaf: data lines covered by one leaf line. For counter mode this is
+//     the counter packing (8/64/128 counters per line, Fig. 8); for a hash
+//     tree it is the MACs per line (8).
+//   - arity: tree fan-out above the leaves.
+//   - metaBase: base physical address of the metadata region.
+//
+// The topmost level always fits on chip (the root of trust) and is never
+// fetched from memory.
+func New(dataBytes int64, lineBytes, perLeaf, arity int, metaBase uint64) (*Tree, error) {
+	if dataBytes <= 0 || lineBytes <= 0 || perLeaf <= 0 {
+		return nil, errors.New("integrity: sizes must be positive")
+	}
+	if arity < 2 {
+		return nil, fmt.Errorf("integrity: arity %d < 2", arity)
+	}
+	t := &Tree{
+		arity:     arity,
+		lineBytes: lineBytes,
+		perLeaf:   perLeaf,
+		dataLines: dataBytes / int64(lineBytes),
+	}
+	n := (t.dataLines + int64(perLeaf) - 1) / int64(perLeaf)
+	base := metaBase
+	for {
+		t.levels = append(t.levels, level{nodes: n, base: base})
+		base += uint64(n) * uint64(lineBytes)
+		if n <= 1 {
+			break
+		}
+		n = (n + int64(arity) - 1) / int64(arity)
+	}
+	t.rootOnChip = true
+	return t, nil
+}
+
+// Levels returns the number of tree levels stored in memory (the on-chip
+// root is excluded; a single-level tree keeps its only level on chip).
+func (t *Tree) Levels() int {
+	if len(t.levels) <= 1 {
+		return 0
+	}
+	return len(t.levels) - 1 // topmost level is the on-chip root
+}
+
+// Arity returns the tree fan-out.
+func (t *Tree) Arity() int { return t.arity }
+
+// MetaBytes returns the total metadata footprint in memory (excluding the
+// on-chip root's single line).
+func (t *Tree) MetaBytes() int64 {
+	var total int64
+	for i := 0; i < t.Levels(); i++ {
+		total += t.levels[i].nodes * int64(t.lineBytes)
+	}
+	return total
+}
+
+// LeafAddr returns the metadata-line address holding the leaf entry
+// (encryption counter or MAC) for the data line containing dataAddr.
+func (t *Tree) LeafAddr(dataAddr uint64) uint64 {
+	lineIdx := dataAddr / uint64(t.lineBytes)
+	leafIdx := lineIdx / uint64(t.perLeaf)
+	return t.levels[0].base + leafIdx*uint64(t.lineBytes)
+}
+
+// WalkAddrs returns the metadata line addresses a verification walk touches
+// for dataAddr, leaf first, ending just below the on-chip root. The slice is
+// appended to dst to avoid per-access allocation.
+func (t *Tree) WalkAddrs(dst []uint64, dataAddr uint64) []uint64 {
+	lineIdx := dataAddr / uint64(t.lineBytes)
+	idx := int64(lineIdx / uint64(t.perLeaf))
+	for l := 0; l < t.Levels(); l++ {
+		dst = append(dst, t.levels[l].base+uint64(idx)*uint64(t.lineBytes))
+		idx /= int64(t.arity)
+	}
+	return dst
+}
+
+// NodeCount returns the number of metadata lines at a level (0 = leaves).
+func (t *Tree) NodeCount(lvl int) int64 { return t.levels[lvl].nodes }
+
+// String summarizes the tree shape.
+func (t *Tree) String() string {
+	return fmt.Sprintf("tree{arity=%d perLeaf=%d levels=%d meta=%dMB}",
+		t.arity, t.perLeaf, t.Levels(), t.MetaBytes()>>20)
+}

@@ -1,0 +1,164 @@
+package integrity
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustTree(t *testing.T, dataBytes int64, perLeaf, arity int) *Tree {
+	t.Helper()
+	tr, err := New(dataBytes, 64, perLeaf, arity, 1<<40)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return tr
+}
+
+func TestPaperBaselineShape(t *testing.T) {
+	// 16GB data, 64 counters/line, 64-ary: 2^28 data lines -> 2^22 counter
+	// lines -> 2^16 -> 2^10 -> 2^4 -> 1. The single-node top is the on-chip
+	// root, so 4 levels live in memory (ceil(22/6) = 4).
+	tr := mustTree(t, 16<<30, 64, 64)
+	if got := tr.NodeCount(0); got != 1<<22 {
+		t.Errorf("leaf count = %d, want %d", got, 1<<22)
+	}
+	if got := tr.Levels(); got != 4 {
+		t.Errorf("levels = %d, want 4", got)
+	}
+}
+
+func TestHashTreeShape(t *testing.T) {
+	// 8-ary hash tree over per-line MACs: 2^28 lines / 8 MACs per line =
+	// 2^25 leaves; /8 per level: 2^25..2^0 -> 9 in-memory levels.
+	tr := mustTree(t, 16<<30, 8, 8)
+	if got := tr.NodeCount(0); got != 1<<25 {
+		t.Errorf("leaf count = %d, want %d", got, 1<<25)
+	}
+	if got := tr.Levels(); got != 9 {
+		t.Errorf("levels = %d, want 9", got)
+	}
+}
+
+func TestMorphTreeShape(t *testing.T) {
+	// 128-ary tree with 128 counters per line removes one level relative to
+	// the 64-ary baseline (the paper's MorphTree comparison).
+	t64 := mustTree(t, 16<<30, 64, 64)
+	t128 := mustTree(t, 16<<30, 128, 128)
+	if t128.Levels() >= t64.Levels() {
+		t.Errorf("128-ary levels = %d, not fewer than 64-ary %d", t128.Levels(), t64.Levels())
+	}
+}
+
+func TestWalkLeafFirstAndShrinking(t *testing.T) {
+	tr := mustTree(t, 16<<30, 64, 64)
+	walk := tr.WalkAddrs(nil, 0x123456780)
+	if len(walk) != tr.Levels() {
+		t.Fatalf("walk length = %d, want %d", len(walk), tr.Levels())
+	}
+	if walk[0] != tr.LeafAddr(0x123456780) {
+		t.Error("walk does not start at the leaf")
+	}
+}
+
+func TestWalkSharingProperty(t *testing.T) {
+	// Two addresses within the same counter-line coverage share the entire
+	// walk; addresses far apart share only upper levels.
+	tr := mustTree(t, 16<<30, 64, 64)
+	a := tr.WalkAddrs(nil, 0)
+	b := tr.WalkAddrs(nil, 63*64) // same leaf (64 counters per line)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("level %d differs for same-leaf addresses", i)
+		}
+	}
+	c := tr.WalkAddrs(nil, 8<<30) // other half of memory
+	if a[0] == c[0] {
+		t.Error("distant addresses share a leaf")
+	}
+	last := len(a) - 1
+	if a[last] == c[last] {
+		// Top stored level has 16 nodes; 0 and 8GB land in different halves.
+		t.Error("distant addresses share the top stored node unexpectedly")
+	}
+}
+
+func TestWalkConvergesToRootChild(t *testing.T) {
+	tr := mustTree(t, 16<<30, 64, 64)
+	f := func(raw uint64) bool {
+		addr := raw % (16 << 30)
+		walk := tr.WalkAddrs(nil, addr)
+		// Each level's address must fall inside that level's region.
+		for l, a := range walk {
+			base := tr.levels[l].base
+			end := base + uint64(tr.levels[l].nodes*64)
+			if a < base || a >= end {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParentChildConsistency(t *testing.T) {
+	// Walking neighbours that share a parent at level l must produce the
+	// same address at level l.
+	tr := mustTree(t, 1<<30, 64, 64)
+	lineBytes := uint64(64)
+	leafSpan := uint64(64) * lineBytes        // bytes covered by one leaf
+	parentSpan := leafSpan * uint64(tr.arity) // bytes covered by a level-1 node
+	a := tr.WalkAddrs(nil, 0)
+	b := tr.WalkAddrs(nil, parentSpan-1)
+	if a[0] == b[0] {
+		t.Fatal("addresses a parent apart share a leaf")
+	}
+	if len(a) > 1 && a[1] != b[1] {
+		t.Error("children of the same parent disagree at level 1")
+	}
+}
+
+func TestMetaBytesOverhead(t *testing.T) {
+	// Counter-tree metadata for 64-ary/64-per-line is ~1.6% of data.
+	tr := mustTree(t, 16<<30, 64, 64)
+	ratio := float64(tr.MetaBytes()) / float64(16<<30)
+	if ratio <= 0.014 || ratio >= 0.017 {
+		t.Errorf("metadata overhead = %.4f, want ~0.0159", ratio)
+	}
+}
+
+func TestSmallMemorySingleLevel(t *testing.T) {
+	// Tiny memory: one leaf line -> root only, nothing stored in memory.
+	tr := mustTree(t, 64*64, 64, 64)
+	if tr.Levels() != 0 {
+		t.Errorf("levels = %d, want 0 (root covers everything)", tr.Levels())
+	}
+	if len(tr.WalkAddrs(nil, 0)) != 0 {
+		t.Error("walk touches memory for an on-chip-only tree")
+	}
+}
+
+func TestRejectsBadParameters(t *testing.T) {
+	if _, err := New(0, 64, 64, 64, 0); err == nil {
+		t.Error("accepted zero data size")
+	}
+	if _, err := New(1<<20, 64, 64, 1, 0); err == nil {
+		t.Error("accepted arity 1")
+	}
+	if _, err := New(1<<20, 64, 0, 8, 0); err == nil {
+		t.Error("accepted zero perLeaf")
+	}
+}
+
+func TestWalkAppendSemantics(t *testing.T) {
+	tr := mustTree(t, 16<<30, 64, 64)
+	prefix := []uint64{42}
+	out := tr.WalkAddrs(prefix, 0)
+	if out[0] != 42 {
+		t.Error("WalkAddrs did not append to dst")
+	}
+	if len(out) != 1+tr.Levels() {
+		t.Errorf("appended walk length = %d", len(out))
+	}
+}

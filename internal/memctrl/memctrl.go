@@ -1,0 +1,321 @@
+// Package memctrl implements the memory controller from Table I of the
+// paper: 64-entry read and write queues per channel, FR-FCFS scheduling
+// with row-hit-first and read-over-write priority, watermark-based write
+// draining, read-around-write forwarding, and refresh management. It drives
+// the cycle-level dram.Channel command interface.
+package memctrl
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"secddr/internal/config"
+	"secddr/internal/dram"
+)
+
+// ErrQueueFull is returned when the target queue has no free entry; the
+// caller must apply backpressure and retry.
+var ErrQueueFull = errors.New("memctrl: queue full")
+
+// Request is one line-granularity memory request.
+type Request struct {
+	ID      uint64
+	Addr    uint64
+	Write   bool
+	Arrival int64 // memory cycle at enqueue
+	loc     dram.Loc
+}
+
+// Completion reports a finished read.
+type Completion struct {
+	ID   uint64
+	Addr uint64
+	Done int64 // memory cycle the data burst completed
+}
+
+// Controller owns one channel.
+type Controller struct {
+	cfg    config.DRAM
+	ch     *dram.Channel
+	mapper *dram.AddressMapper
+
+	readQ  []*Request
+	writeQ []*Request
+
+	draining bool
+	pending  completionHeap
+	nextID   uint64
+
+	// Stats.
+	ReadsEnqueued   uint64
+	WritesEnqueued  uint64
+	ReadsForwarded  uint64 // reads served from the write queue
+	ReadLatencySum  uint64 // memory cycles, enqueue to data
+	ReadsCompleted  uint64
+	WritesCompleted uint64
+	DrainEpisodes   uint64
+}
+
+// New constructs a controller with a fresh channel for cfg.
+func New(cfg config.DRAM) (*Controller, error) {
+	ch, err := dram.NewChannel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	mapper, err := dram.NewAddressMapper(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{cfg: cfg, ch: ch, mapper: mapper}, nil
+}
+
+// Channel exposes the underlying DRAM channel (stats, tests).
+func (c *Controller) Channel() *dram.Channel { return c.ch }
+
+// Mapper exposes the address mapper.
+func (c *Controller) Mapper() *dram.AddressMapper { return c.mapper }
+
+// ReadQueueLen and WriteQueueLen return current occupancies.
+func (c *Controller) ReadQueueLen() int { return len(c.readQ) }
+
+// WriteQueueLen returns the current write-queue occupancy.
+func (c *Controller) WriteQueueLen() int { return len(c.writeQ) }
+
+// CanEnqueueRead reports whether a read slot is free.
+func (c *Controller) CanEnqueueRead() bool { return len(c.readQ) < c.cfg.ReadQueueEntries }
+
+// CanEnqueueWrite reports whether a write slot is free.
+func (c *Controller) CanEnqueueWrite() bool { return len(c.writeQ) < c.cfg.WriteQueueEntries }
+
+// EnqueueRead queues a read for addr. If the line has a pending write, the
+// read is served by store-forwarding: it completes immediately (forwarded
+// true) and never occupies a queue slot.
+func (c *Controller) EnqueueRead(addr uint64, now int64) (id uint64, forwarded bool, err error) {
+	lineAddr := addr &^ uint64(c.cfg.LineBytes-1)
+	for _, w := range c.writeQ {
+		if w.Addr == lineAddr {
+			c.ReadsForwarded++
+			c.nextID++
+			return c.nextID, true, nil
+		}
+	}
+	if !c.CanEnqueueRead() {
+		return 0, false, ErrQueueFull
+	}
+	c.nextID++
+	_, loc := c.mapper.Map(lineAddr)
+	c.readQ = append(c.readQ, &Request{ID: c.nextID, Addr: lineAddr, Arrival: now, loc: loc})
+	c.ReadsEnqueued++
+	return c.nextID, false, nil
+}
+
+// EnqueueWrite queues a write-back for addr. Writes to a line already in
+// the write queue coalesce into the existing entry.
+func (c *Controller) EnqueueWrite(addr uint64, now int64) error {
+	lineAddr := addr &^ uint64(c.cfg.LineBytes-1)
+	for _, w := range c.writeQ {
+		if w.Addr == lineAddr {
+			return nil // coalesced
+		}
+	}
+	if !c.CanEnqueueWrite() {
+		return ErrQueueFull
+	}
+	c.nextID++
+	_, loc := c.mapper.Map(lineAddr)
+	c.writeQ = append(c.writeQ, &Request{ID: c.nextID, Addr: lineAddr, Write: true, Arrival: now, loc: loc})
+	c.WritesEnqueued++
+	return nil
+}
+
+// Idle reports whether all queues and in-flight activity are drained.
+func (c *Controller) Idle() bool {
+	return len(c.readQ) == 0 && len(c.writeQ) == 0 && c.pending.Len() == 0
+}
+
+// Tick advances the controller by one memory cycle: it returns reads whose
+// data completed at or before now, then issues at most one DRAM command.
+func (c *Controller) Tick(now int64) []Completion {
+	var done []Completion
+	for c.pending.Len() > 0 && c.pending[0].Done <= now {
+		comp := heap.Pop(&c.pending).(Completion)
+		done = append(done, comp)
+	}
+	c.issueOne(now)
+	return done
+}
+
+// issueOne implements FR-FCFS with refresh priority and write draining.
+func (c *Controller) issueOne(now int64) {
+	// Refresh has highest priority: close banks and refresh due ranks.
+	refreshBlocked := make(map[int]bool, c.cfg.Ranks)
+	for r := 0; r < c.cfg.Ranks; r++ {
+		if !c.ch.RefreshDue(r, now) {
+			continue
+		}
+		refreshBlocked[r] = true
+		if c.tryRefresh(r, now) {
+			return
+		}
+	}
+
+	// Write-drain mode hysteresis.
+	high := int(float64(c.cfg.WriteQueueEntries) * c.cfg.WriteDrainHigh)
+	low := int(float64(c.cfg.WriteQueueEntries) * c.cfg.WriteDrainLow)
+	if !c.draining && len(c.writeQ) >= high {
+		c.draining = true
+		c.DrainEpisodes++
+	}
+	if c.draining && len(c.writeQ) <= low {
+		c.draining = false
+	}
+
+	primary, secondary := c.readQ, c.writeQ
+	primaryIsWrite := false
+	if c.draining || len(c.readQ) == 0 {
+		primary, secondary = c.writeQ, c.readQ
+		primaryIsWrite = true
+	}
+	if c.scheduleFrom(primary, primaryIsWrite, refreshBlocked, now) {
+		return
+	}
+	c.scheduleFrom(secondary, !primaryIsWrite, refreshBlocked, now)
+}
+
+// tryRefresh makes progress toward refreshing rank r; returns true if a
+// command was issued this cycle.
+func (c *Controller) tryRefresh(r int, now int64) bool {
+	anyOpen := false
+	for bg := 0; bg < c.cfg.BankGroups; bg++ {
+		for b := 0; b < c.cfg.BanksPerGroup(); b++ {
+			loc := dram.Loc{Rank: r, BankGroup: bg, Bank: b}
+			if _, open := c.ch.OpenRow(loc); open {
+				anyOpen = true
+				if c.ch.CanIssue(dram.CmdPRE, loc, now) {
+					c.ch.Issue(dram.CmdPRE, loc, now)
+					return true
+				}
+			}
+		}
+	}
+	if anyOpen {
+		return false // waiting on tRAS etc.
+	}
+	loc := dram.Loc{Rank: r}
+	if c.ch.CanIssue(dram.CmdREF, loc, now) {
+		c.ch.Issue(dram.CmdREF, loc, now)
+		return true
+	}
+	return false
+}
+
+// scheduleFrom applies FR-FCFS to one queue. Pass 1 issues the first
+// (oldest) row-hit column command that is ready; pass 2 lets the oldest
+// request make any progress (PRE on conflict, ACT on closed bank).
+func (c *Controller) scheduleFrom(q []*Request, isWrite bool, blocked map[int]bool, now int64) bool {
+	col := dram.CmdRD
+	if isWrite {
+		col = dram.CmdWR
+	}
+	// Pass 1: row hits, oldest first.
+	for i, req := range q {
+		if blocked[req.loc.Rank] {
+			continue
+		}
+		row, open := c.ch.OpenRow(req.loc)
+		if open && row == req.loc.Row && c.ch.CanIssue(col, req.loc, now) {
+			c.issueColumn(req, col, i, isWrite, now, true)
+			return true
+		}
+	}
+	// Pass 2: progress for the oldest schedulable request.
+	for i, req := range q {
+		if blocked[req.loc.Rank] {
+			continue
+		}
+		row, open := c.ch.OpenRow(req.loc)
+		switch {
+		case open && row == req.loc.Row:
+			// Column timing not ready; nothing to issue for this request,
+			// but younger requests may still proceed.
+			continue
+		case open:
+			// Do not close a row an older request still needs; issuing PRE
+			// here would livelock two conflicting requests against each
+			// other (each re-closing the other's row).
+			if olderWantsRow(q[:i], req.loc, row) {
+				continue
+			}
+			if c.ch.CanIssue(dram.CmdPRE, req.loc, now) {
+				c.ch.Issue(dram.CmdPRE, req.loc, now)
+				c.ch.RecordRowOutcome(false, true)
+				return true
+			}
+		default:
+			if c.ch.CanIssue(dram.CmdACT, req.loc, now) {
+				c.ch.Issue(dram.CmdACT, req.loc, now)
+				c.ch.RecordRowOutcome(false, false)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// olderWantsRow reports whether any request in older targets the given
+// bank's currently open row.
+func olderWantsRow(older []*Request, loc dram.Loc, openRow uint32) bool {
+	for _, r := range older {
+		if r.loc.Rank == loc.Rank && r.loc.BankGroup == loc.BankGroup &&
+			r.loc.Bank == loc.Bank && r.loc.Row == openRow {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Controller) issueColumn(req *Request, col dram.Command, idx int, isWrite bool, now int64, rowHit bool) {
+	done := c.ch.Issue(col, req.loc, now)
+	if rowHit {
+		c.ch.RecordRowOutcome(true, false)
+	}
+	if isWrite {
+		c.writeQ = append(c.writeQ[:idx], c.writeQ[idx+1:]...)
+		c.WritesCompleted++
+		return
+	}
+	c.readQ = append(c.readQ[:idx], c.readQ[idx+1:]...)
+	c.ReadsCompleted++
+	c.ReadLatencySum += uint64(done - req.Arrival)
+	heap.Push(&c.pending, Completion{ID: req.ID, Addr: req.Addr, Done: done})
+}
+
+// AvgReadLatency returns the mean enqueue-to-data latency in memory cycles.
+func (c *Controller) AvgReadLatency() float64 {
+	if c.ReadsCompleted == 0 {
+		return 0
+	}
+	return float64(c.ReadLatencySum) / float64(c.ReadsCompleted)
+}
+
+// String summarizes controller state for debugging.
+func (c *Controller) String() string {
+	return fmt.Sprintf("memctrl{rq=%d wq=%d inflight=%d drain=%v}",
+		len(c.readQ), len(c.writeQ), c.pending.Len(), c.draining)
+}
+
+// completionHeap is a min-heap on Done cycle.
+type completionHeap []Completion
+
+func (h completionHeap) Len() int            { return len(h) }
+func (h completionHeap) Less(i, j int) bool  { return h[i].Done < h[j].Done }
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(Completion)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

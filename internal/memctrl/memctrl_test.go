@@ -1,0 +1,227 @@
+package memctrl
+
+import (
+	"testing"
+
+	"secddr/internal/config"
+)
+
+func testCfg() config.DRAM {
+	d := config.Table1(config.ModeUnprotected).DRAM
+	d.RefreshEnabled = false
+	return d
+}
+
+func newCtl(t *testing.T, cfg config.DRAM) *Controller {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+// run ticks the controller until n reads complete or maxCycles pass.
+func run(t *testing.T, c *Controller, n int, maxCycles int64) []Completion {
+	t.Helper()
+	var out []Completion
+	for cyc := int64(0); cyc < maxCycles && len(out) < n; cyc++ {
+		out = append(out, c.Tick(cyc)...)
+	}
+	if len(out) < n {
+		t.Fatalf("only %d/%d reads completed in %d cycles: %v", len(out), n, maxCycles, c)
+	}
+	return out
+}
+
+func TestSingleReadCompletes(t *testing.T) {
+	c := newCtl(t, testCfg())
+	id, fwd, err := c.EnqueueRead(0x1000, 0)
+	if err != nil || fwd {
+		t.Fatalf("enqueue: id=%d fwd=%v err=%v", id, fwd, err)
+	}
+	comps := run(t, c, 1, 1000)
+	if comps[0].ID != id {
+		t.Errorf("completion id = %d, want %d", comps[0].ID, id)
+	}
+	// Idle-bank read latency: ACT + tRCD + tCL + burst, plus a few cycles of
+	// scheduling. Must be at least tRCD+tCL+4 and far below 200.
+	min := int64(22 + 22 + 4)
+	if comps[0].Done < min || comps[0].Done > 200 {
+		t.Errorf("read latency = %d, want in [%d, 200]", comps[0].Done, min)
+	}
+}
+
+func TestRowHitFasterThanConflict(t *testing.T) {
+	// Two reads in the same row: the second should complete quickly after
+	// the first (row hit). A read to a different row in the same bank pays
+	// PRE+ACT.
+	cfgD := testCfg()
+	c := newCtl(t, cfgD)
+	c.EnqueueRead(0x0, 0)
+	c.EnqueueRead(0x0+4096, 0) // same row (within 8KB row, different column)
+	comps := run(t, c, 2, 2000)
+	gap := comps[1].Done - comps[0].Done
+	if gap > int64(cfgD.Timing.TCCDL)+8 {
+		t.Errorf("row-hit gap = %d cycles, expected near tCCD", gap)
+	}
+}
+
+func TestReadPriorityOverWrites(t *testing.T) {
+	c := newCtl(t, testCfg())
+	// A few writes then a read: the read should not wait for all writes.
+	for i := 0; i < 8; i++ {
+		if err := c.EnqueueWrite(uint64(i)*1<<20, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.EnqueueRead(0x5000, 0)
+	comps := run(t, c, 1, 2000)
+	if c.WritesCompleted >= 8 {
+		t.Errorf("all %d writes drained before the read completed at %d", c.WritesCompleted, comps[0].Done)
+	}
+}
+
+func TestWriteDrainWatermark(t *testing.T) {
+	cfgD := testCfg()
+	c := newCtl(t, cfgD)
+	high := int(float64(cfgD.WriteQueueEntries) * cfgD.WriteDrainHigh)
+	for i := 0; i <= high; i++ {
+		if err := c.EnqueueWrite(uint64(i)*128*64, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for cyc := int64(0); cyc < 5000 && c.WriteQueueLen() > 0; cyc++ {
+		c.Tick(cyc)
+	}
+	if c.WriteQueueLen() != 0 {
+		t.Fatalf("write queue not drained: %v", c)
+	}
+	if c.DrainEpisodes == 0 {
+		t.Error("no drain episode recorded despite crossing high watermark")
+	}
+}
+
+func TestReadForwardedFromWriteQueue(t *testing.T) {
+	c := newCtl(t, testCfg())
+	c.EnqueueWrite(0x2000, 0)
+	_, fwd, err := c.EnqueueRead(0x2010, 0) // same line
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fwd {
+		t.Error("read to pending write line not forwarded")
+	}
+	if c.ReadsForwarded != 1 {
+		t.Errorf("ReadsForwarded = %d", c.ReadsForwarded)
+	}
+}
+
+func TestWriteCoalescing(t *testing.T) {
+	c := newCtl(t, testCfg())
+	c.EnqueueWrite(0x3000, 0)
+	c.EnqueueWrite(0x3020, 0) // same line
+	if c.WriteQueueLen() != 1 {
+		t.Errorf("write queue = %d entries, want 1 (coalesced)", c.WriteQueueLen())
+	}
+}
+
+func TestQueueFullBackpressure(t *testing.T) {
+	cfgD := testCfg()
+	c := newCtl(t, cfgD)
+	var err error
+	for i := 0; i <= cfgD.ReadQueueEntries; i++ {
+		_, _, err = c.EnqueueRead(uint64(i)*128*64, 0)
+		if i < cfgD.ReadQueueEntries && err != nil {
+			t.Fatalf("enqueue %d failed early: %v", i, err)
+		}
+	}
+	if err != ErrQueueFull {
+		t.Errorf("overfull enqueue error = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestAllReadsEventuallyComplete(t *testing.T) {
+	c := newCtl(t, testCfg())
+	want := make(map[uint64]bool)
+	var cycle int64
+	for i := 0; i < 200; i++ {
+		// Mixed pattern: some row hits, some conflicts, both ranks.
+		addr := uint64(i%7)*1<<21 + uint64(i)*64
+		for {
+			id, fwd, err := c.EnqueueRead(addr, cycle)
+			if err == nil {
+				if !fwd {
+					want[id] = true
+				}
+				break
+			}
+			for _, comp := range c.Tick(cycle) {
+				delete(want, comp.ID)
+			}
+			cycle++
+		}
+	}
+	for len(want) > 0 && cycle < 200000 {
+		for _, comp := range c.Tick(cycle) {
+			delete(want, comp.ID)
+		}
+		cycle++
+	}
+	if len(want) != 0 {
+		t.Fatalf("%d reads never completed", len(want))
+	}
+}
+
+func TestRefreshProgress(t *testing.T) {
+	cfgD := testCfg()
+	cfgD.RefreshEnabled = true
+	c := newCtl(t, cfgD)
+	// Run past several tREFI windows with a trickle of reads; everything
+	// must still complete and refreshes must be issued.
+	var cycle int64
+	completed := 0
+	issued := 0
+	for cycle = 0; cycle < 4*int64(cfgD.Timing.TREFI); cycle++ {
+		if cycle%512 == 0 && c.CanEnqueueRead() {
+			c.EnqueueRead(uint64(cycle)*64, cycle)
+			issued++
+		}
+		completed += len(c.Tick(cycle))
+	}
+	if c.Channel().NumREF == 0 {
+		t.Error("no refreshes issued across multiple tREFI windows")
+	}
+	if completed < issued-int(c.ReadQueueLen()) || completed == 0 {
+		t.Errorf("reads completed = %d of %d issued", completed, issued)
+	}
+}
+
+func TestAvgReadLatency(t *testing.T) {
+	c := newCtl(t, testCfg())
+	if c.AvgReadLatency() != 0 {
+		t.Error("idle controller has nonzero avg latency")
+	}
+	c.EnqueueRead(0, 0)
+	run(t, c, 1, 1000)
+	if c.AvgReadLatency() <= 0 {
+		t.Error("avg read latency not recorded")
+	}
+}
+
+func TestIdle(t *testing.T) {
+	c := newCtl(t, testCfg())
+	if !c.Idle() {
+		t.Error("fresh controller not idle")
+	}
+	c.EnqueueWrite(0x40, 0)
+	if c.Idle() {
+		t.Error("controller idle with queued write")
+	}
+	for cyc := int64(0); cyc < 2000 && !c.Idle(); cyc++ {
+		c.Tick(cyc)
+	}
+	if !c.Idle() {
+		t.Error("controller never drained the write")
+	}
+}

@@ -1,0 +1,120 @@
+package protocol
+
+import (
+	"testing"
+
+	"secddr/internal/core"
+	"secddr/internal/cryptoeng"
+)
+
+func newOblivious(t *testing.T) *ObliviousSystem {
+	t.Helper()
+	sys := newSys(t, core.ModeSecDDR)
+	o, err := NewObliviousSystem(sys, TestKeys().Kt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestObliviousRoundTrip(t *testing.T) {
+	o := newOblivious(t)
+	want := fill(0x31)
+	if err := o.Write(0x4000, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := o.Read(0x4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Error("oblivious round trip corrupted data")
+	}
+}
+
+func TestObliviousHidesAddresses(t *testing.T) {
+	// The eavesdropper's view of repeated accesses to ONE address must
+	// vary per command (temporally unique pads) and differ from the true
+	// coordinates most of the time.
+	o := newOblivious(t)
+	true1, err := o.sys.MapAddr(0x4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var observed []cryptoeng.WriteAddress
+	o.Eavesdrop = func(a cryptoeng.WriteAddress) { observed = append(observed, a) }
+	o.Write(0x4000, fill(1))
+	for i := 0; i < 16; i++ {
+		if _, err := o.Read(0x4000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	matches, repeats := 0, 0
+	seen := map[cryptoeng.WriteAddress]bool{}
+	for _, a := range observed {
+		if a == true1 {
+			matches++
+		}
+		if seen[a] {
+			repeats++
+		}
+		seen[a] = true
+	}
+	if matches > 2 {
+		t.Errorf("%d/%d bus addresses equal the true address; traffic not oblivious", matches, len(observed))
+	}
+	if repeats > 2 {
+		t.Errorf("%d repeated cloaked addresses; pads not temporally unique", repeats)
+	}
+}
+
+func TestObliviousSameLineDifferentObservations(t *testing.T) {
+	o := newOblivious(t)
+	o.Write(0x100, fill(9))
+	var a, b cryptoeng.WriteAddress
+	o.Eavesdrop = func(x cryptoeng.WriteAddress) { a = x }
+	o.Read(0x100)
+	o.Eavesdrop = func(x cryptoeng.WriteAddress) { b = x }
+	o.Read(0x100)
+	if a == b {
+		t.Error("two reads of one line produced identical bus addresses")
+	}
+}
+
+func TestObliviousIntegrityStillEnforced(t *testing.T) {
+	// CCCA encryption must not weaken integrity: tampering is still caught.
+	o := newOblivious(t)
+	o.Write(0x2000, fill(4))
+	wa, _ := o.sys.MapAddr(0x2000)
+	o.sys.DIMM().CorruptStoredLine(wa, 3, 11)
+	if _, err := o.Read(0x2000); err == nil {
+		t.Error("tampering undetected under the oblivious extension")
+	}
+}
+
+func TestCloakInvolution(t *testing.T) {
+	g := DefaultGeometry()
+	mc, err := NewAddressCloak(TestKeys().Kt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, _ := NewAddressCloak(TestKeys().Kt)
+	for i := 0; i < 100; i++ {
+		a := cryptoeng.WriteAddress{
+			Rank: i % g.Ranks, BankGroup: i % g.BankGroups, Bank: i % g.Banks,
+			Row: uint32(i*37) % uint32(g.Rows), Column: uint32(i*11) % uint32(g.Cols),
+		}
+		if got := rc.Cloak(g, mc.Cloak(g, a)); got != a {
+			t.Fatalf("cloak not an involution at step %d: %+v != %+v", i, got, a)
+		}
+	}
+}
+
+func TestCloakDesyncDetected(t *testing.T) {
+	o := newOblivious(t)
+	o.Write(0x100, fill(1))
+	o.rcCloak.ctr++ // RCD missed a command
+	if err := o.Write(0x100, fill(2)); err == nil {
+		t.Error("cloak desynchronization not surfaced")
+	}
+}

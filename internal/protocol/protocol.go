@@ -1,0 +1,255 @@
+// Package protocol is the bit-accurate wire model of a SecDDR memory
+// system: a processor-side memory encryption engine, an untrusted DDR
+// channel with attacker hooks on every message, and a DIMM whose ranks
+// store data across eight x8 data chips plus one ECC chip holding the MAC
+// and SECDED parity. All attacks from Section III of the paper are
+// expressible as channel transformations (see package attack).
+package protocol
+
+import (
+	"fmt"
+
+	"secddr/internal/core"
+	"secddr/internal/cryptoeng"
+)
+
+// Geometry fixes the modelled DIMM organization.
+type Geometry struct {
+	Ranks      int
+	BankGroups int
+	Banks      int // per group
+	Rows       int
+	Cols       int // line-sized columns per row
+}
+
+// DefaultGeometry returns a small two-rank organization (ample for
+// functional verification; the performance model handles full 16GB).
+func DefaultGeometry() Geometry {
+	return Geometry{Ranks: 2, BankGroups: 4, Banks: 4, Rows: 256, Cols: 128}
+}
+
+// storedLine is one cache line at rest inside a rank: the data slices in
+// the data chips, the MAC in the ECC chip, and SECDED check bytes for each
+// 8-byte device word (data chips and ECC chip alike).
+type storedLine struct {
+	data  [core.LineBytes]byte
+	mac   [core.MACBytes]byte
+	check [9]uint8 // SECDED over each 8-byte slice; [8] covers the MAC
+}
+
+// Rank models one rank: storage plus its ECC chip engine.
+type Rank struct {
+	ecc   *core.ECCChipEngine
+	lines map[uint64]*storedLine
+
+	// WCRCRejects counts plain (data-chip) write CRC mismatches.
+	WCRCRejects uint64
+}
+
+// Channel carries bus messages between processor and DIMM. The three hook
+// points let an attacker observe and mutate traffic in flight; a nil hook
+// passes messages through untouched. Returning false from a hook drops the
+// message entirely (e.g. a dropped write).
+type Channel struct {
+	OnWrite    func(*core.WriteMsg) bool
+	OnReadCmd  func(*core.ReadMsg) bool
+	OnReadResp func(*core.ReadResp) bool
+
+	// ConvertWriteToRead, when set, replaces the next write command with a
+	// read of the same address and swallows the response (Section III-B's
+	// command-conversion attack).
+	ConvertWriteToRead bool
+}
+
+// DIMM is the untrusted module: per-rank storage and ECC-chip engines.
+type DIMM struct {
+	geom  Geometry
+	mode  core.Mode
+	ranks []*Rank
+}
+
+// NewDIMM builds a DIMM whose ECC chips share the transaction key kt and
+// start their counters at initialCt.
+func NewDIMM(mode core.Mode, geom Geometry, kt []byte, initialCt uint64) (*DIMM, error) {
+	d := &DIMM{geom: geom, mode: mode}
+	for r := 0; r < geom.Ranks; r++ {
+		eng, err := core.NewECCChipEngine(mode, kt, r, initialCt)
+		if err != nil {
+			return nil, err
+		}
+		d.ranks = append(d.ranks, &Rank{ecc: eng, lines: make(map[uint64]*storedLine)})
+	}
+	return d, nil
+}
+
+// locKey addresses a line within a rank by its DRAM coordinates — the
+// coordinates the DIMM observes on the CCCA signals, which an attacker may
+// have redirected.
+func locKey(a cryptoeng.WriteAddress) uint64 {
+	return uint64(a.BankGroup)<<52 | uint64(a.Bank)<<48 |
+		uint64(a.Row)<<16 | uint64(a.Column)
+}
+
+// HandleWrite commits one write burst. The device-side checks run exactly
+// as in the paper: each data chip verifies its plain eWCRC slice; the ECC
+// chip verifies the encrypted eWCRC (full SecDDR) and decrypts the E-MAC.
+// A rejected write does not modify storage.
+func (d *DIMM) HandleWrite(msg core.WriteMsg) error {
+	rank := d.ranks[msg.Addr.Rank]
+	// Data chips: plain eWCRC over (observed address, slice).
+	for i := 0; i < 8; i++ {
+		if cryptoeng.EWCRC(msg.Addr, msg.Data[i*8:(i+1)*8]) != msg.CRCs[i] {
+			rank.WCRCRejects++
+			return fmt.Errorf("protocol: data chip %d WCRC mismatch: %w", i, core.ErrEWCRCMismatch)
+		}
+	}
+	// ECC chip: counter consumption, E-MAC decryption, encrypted eWCRC.
+	mac, err := rank.ecc.HandleWrite(msg)
+	if err != nil {
+		return err
+	}
+	ln := &storedLine{data: msg.Data, mac: mac}
+	for i := 0; i < 8; i++ {
+		ln.check[i] = cryptoeng.SECDEDEncode(sliceWord(msg.Data[:], i))
+	}
+	ln.check[8] = cryptoeng.SECDEDEncode(sliceWord(mac[:], 0))
+	rank.lines[locKey(msg.Addr)] = ln
+	return nil
+}
+
+// HandleRead serves one read burst from the observed address. An unwritten
+// line returns zero data with a zero stored MAC, so the processor flags it:
+// in an integrity-protected system software must write a line before
+// reading it (the boot-time clear in Section III-F performs those writes).
+func (d *DIMM) HandleRead(msg core.ReadMsg) core.ReadResp {
+	rank := d.ranks[msg.Addr.Rank]
+	ln, ok := rank.lines[locKey(msg.Addr)]
+	if !ok {
+		ln = &storedLine{}
+		for i := 0; i < 8; i++ {
+			ln.check[i] = cryptoeng.SECDEDEncode(0)
+		}
+		ln.check[8] = cryptoeng.SECDEDEncode(0)
+	}
+	// SECDED per device word: correct single-bit upsets transparently.
+	var resp core.ReadResp
+	data := ln.data
+	for i := 0; i < 8; i++ {
+		w, _ := cryptoeng.SECDEDDecode(sliceWord(data[:], i), ln.check[i])
+		putWord(data[:], i, w)
+	}
+	mac := ln.mac
+	w, _ := cryptoeng.SECDEDDecode(sliceWord(mac[:], 0), ln.check[8])
+	putWord(mac[:], 0, w)
+
+	resp.Data = data
+	resp.EMAC = rank.ecc.HandleRead(mac).EMAC
+	return resp
+}
+
+// CorruptStoredLine flips nbits distinct bits within one 8-byte device word
+// of a line at rest (Row-Hammer-style fault injection; disturbance errors
+// cluster within a device). One flipped bit is corrected by the word's
+// SECDED code; two or more defeat ECC and must be caught by the MAC.
+func (d *DIMM) CorruptStoredLine(a cryptoeng.WriteAddress, nbits int, seed uint64) bool {
+	ln, ok := d.ranks[a.Rank].lines[locKey(a)]
+	if !ok {
+		return false
+	}
+	word := int(seed % 8)
+	for i := 0; i < nbits && i < 64; i++ {
+		bit := (seed/8 + uint64(i)*7) % 64 // distinct positions
+		ln.data[word*8+int(bit/8)] ^= 1 << (bit % 8)
+	}
+	return true
+}
+
+// SwapStoredLines exchanges two lines at rest including their MACs — the
+// relocation/splicing attack (defeated because the MAC binds the address).
+func (d *DIMM) SwapStoredLines(a, b cryptoeng.WriteAddress) bool {
+	ra, rb := d.ranks[a.Rank], d.ranks[b.Rank]
+	la, oka := ra.lines[locKey(a)]
+	lb, okb := rb.lines[locKey(b)]
+	if !oka || !okb {
+		return false
+	}
+	ra.lines[locKey(a)], rb.lines[locKey(b)] = lb, la
+	return true
+}
+
+// Snapshot captures the full DIMM state (storage and counters) — the
+// frozen-DIMM half of a substitution attack.
+func (d *DIMM) Snapshot() *DIMMSnapshot {
+	snap := &DIMMSnapshot{mode: d.mode, geom: d.geom}
+	for _, r := range d.ranks {
+		lines := make(map[uint64]storedLine, len(r.lines))
+		for k, v := range r.lines {
+			lines[k] = *v
+		}
+		snap.ranks = append(snap.ranks, rankSnapshot{
+			lines: lines,
+			ct:    r.ecc.Counter().State(),
+		})
+	}
+	return snap
+}
+
+// DIMMSnapshot is a frozen copy of DIMM state.
+type DIMMSnapshot struct {
+	mode  core.Mode
+	geom  Geometry
+	ranks []rankSnapshot
+}
+
+type rankSnapshot struct {
+	lines map[uint64]storedLine
+	ct    uint64
+}
+
+// RestoreSnapshot builds a new DIMM from a snapshot — plugging the frozen
+// DIMM back in. The ECC chips resume from the counter values they froze
+// with, which is precisely why the attack fails against a live processor.
+func RestoreSnapshot(snap *DIMMSnapshot, kt []byte) (*DIMM, error) {
+	d := &DIMM{geom: snap.geom, mode: snap.mode}
+	for r, rs := range snap.ranks {
+		eng, err := core.NewECCChipEngineFromState(snap.mode, kt, r, rs.ct)
+		if err != nil {
+			return nil, err
+		}
+		lines := make(map[uint64]*storedLine, len(rs.lines))
+		for k, v := range rs.lines {
+			cp := v
+			lines[k] = &cp
+		}
+		d.ranks = append(d.ranks, &Rank{ecc: eng, lines: lines})
+	}
+	return d, nil
+}
+
+// Clear wipes all stored lines (boot-time zeroing after non-adversarial
+// DIMM replacement, Section III-F).
+func (d *DIMM) Clear() {
+	for _, r := range d.ranks {
+		r.lines = make(map[uint64]*storedLine)
+	}
+}
+
+// Ranks returns the number of ranks.
+func (d *DIMM) Ranks() int { return len(d.ranks) }
+
+// RankEngine exposes one rank's ECC chip engine (tests, attestation).
+func (d *DIMM) RankEngine(r int) *core.ECCChipEngine { return d.ranks[r].ecc }
+
+func sliceWord(b []byte, i int) uint64 {
+	var w uint64
+	for j := 0; j < 8; j++ {
+		w |= uint64(b[i*8+j]) << (8 * j)
+	}
+	return w
+}
+
+func putWord(b []byte, i int, w uint64) {
+	for j := 0; j < 8; j++ {
+		b[i*8+j] = byte(w >> (8 * j))
+	}
+}

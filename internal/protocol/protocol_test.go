@@ -1,0 +1,231 @@
+package protocol
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"secddr/internal/core"
+)
+
+func newSys(t *testing.T, mode core.Mode) *System {
+	t.Helper()
+	sys, err := NewSystem(mode, DefaultGeometry(), TestKeys(), 0)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return sys
+}
+
+func fill(b byte) (d [core.LineBytes]byte) {
+	for i := range d {
+		d[i] = b + byte(i)*3
+	}
+	return d
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeMACOnly, core.ModeSecDDRNoEWCRC, core.ModeSecDDR} {
+		t.Run(mode.String(), func(t *testing.T) {
+			sys := newSys(t, mode)
+			want := fill(0x42)
+			if err := sys.Write(0x1000, want); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			got, err := sys.Read(0x1000)
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			if got != want {
+				t.Error("data corrupted through benign round trip")
+			}
+		})
+	}
+}
+
+func TestManyLinesRoundTrip(t *testing.T) {
+	sys := newSys(t, core.ModeSecDDR)
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := sys.Write(uint64(i)*64, fill(byte(i))); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		got, err := sys.Read(uint64(i) * 64)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got != fill(byte(i)) {
+			t.Fatalf("line %d corrupted", i)
+		}
+	}
+}
+
+func TestOverwriteVisible(t *testing.T) {
+	sys := newSys(t, core.ModeSecDDR)
+	sys.Write(0x40, fill(1))
+	sys.Write(0x40, fill(9))
+	got, err := sys.Read(0x40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != fill(9) {
+		t.Error("overwrite not visible")
+	}
+}
+
+func TestUnwrittenLineFlagged(t *testing.T) {
+	sys := newSys(t, core.ModeSecDDR)
+	if _, err := sys.Read(0x2000); err == nil {
+		t.Error("unwritten line passed verification")
+	}
+}
+
+func TestAddressesMapDistinctly(t *testing.T) {
+	sys := newSys(t, core.ModeSecDDR)
+	seen := map[uint64]uint64{}
+	f := func(raw uint32) bool {
+		addr := (uint64(raw) % (1 << 22)) * core.LineBytes
+		wa, err := sys.MapAddr(addr)
+		if err != nil {
+			return true // beyond geometry is fine to reject
+		}
+		key := uint64(wa.Rank)<<60 | uint64(wa.BankGroup)<<56 |
+			uint64(wa.Bank)<<52 | uint64(wa.Row)<<20 | uint64(wa.Column)
+		if prev, dup := seen[key]; dup && prev != addr {
+			return false
+		}
+		seen[key] = addr
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapAddrRejectsOutOfRange(t *testing.T) {
+	sys := newSys(t, core.ModeSecDDR)
+	g := sys.Geometry()
+	total := uint64(g.Ranks*g.BankGroups*g.Banks*g.Rows*g.Cols) * core.LineBytes
+	if _, err := sys.MapAddr(total); err == nil {
+		t.Error("address beyond geometry accepted")
+	}
+}
+
+func TestSECDEDCorrectsSingleAtRestFlip(t *testing.T) {
+	sys := newSys(t, core.ModeSecDDR)
+	want := fill(0x77)
+	sys.Write(0x800, want)
+	wa, _ := sys.MapAddr(0x800)
+	if !sys.DIMM().CorruptStoredLine(wa, 1, 12345) {
+		t.Fatal("corrupt failed")
+	}
+	got, err := sys.Read(0x800)
+	if err != nil {
+		t.Fatalf("single-bit at-rest flip not corrected: %v", err)
+	}
+	if got != want {
+		t.Error("corrected data wrong")
+	}
+}
+
+func TestDoubleAtRestFlipDetected(t *testing.T) {
+	sys := newSys(t, core.ModeSecDDR)
+	sys.Write(0x800, fill(0x77))
+	wa, _ := sys.MapAddr(0x800)
+	sys.DIMM().CorruptStoredLine(wa, 2, 999)
+	if _, err := sys.Read(0x800); !errors.Is(err, core.ErrIntegrityViolation) {
+		t.Errorf("double-bit corruption not flagged: %v", err)
+	}
+}
+
+func TestClearWipesState(t *testing.T) {
+	sys := newSys(t, core.ModeSecDDR)
+	sys.Write(0x40, fill(5))
+	sys.DIMM().Clear()
+	if _, err := sys.Read(0x40); err == nil {
+		t.Error("cleared line still verified")
+	}
+}
+
+func TestSnapshotRestoreIdentity(t *testing.T) {
+	// Snapshot/restore with no intervening traffic is benign: counters and
+	// contents line up, reads verify.
+	sys := newSys(t, core.ModeSecDDR)
+	sys.Write(0x40, fill(5))
+	snap := sys.DIMM().Snapshot()
+	restored, err := RestoreSnapshot(snap, TestKeys().Kt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.ReplaceDIMM(restored)
+	got, err := sys.Read(0x40)
+	if err != nil {
+		t.Fatalf("identity snapshot/restore broke verification: %v", err)
+	}
+	if got != fill(5) {
+		t.Error("restored data wrong")
+	}
+}
+
+func TestCounterEvenOddDiscipline(t *testing.T) {
+	c := core.NewTxnCounter(0)
+	r1 := c.NextRead()
+	w1 := c.NextWrite()
+	r2 := c.NextRead()
+	w2 := c.NextWrite()
+	if r1%2 != 0 || r2%2 != 0 {
+		t.Errorf("read counters odd: %d %d", r1, r2)
+	}
+	if w1%2 != 1 || w2%2 != 1 {
+		t.Errorf("write counters even: %d %d", w1, w2)
+	}
+	if !(r1 < w1 && w1 < r2 && r2 < w2) {
+		t.Errorf("counters not monotone: %d %d %d %d", r1, w1, r2, w2)
+	}
+}
+
+func TestCounterSymmetryProperty(t *testing.T) {
+	// Two counters fed the same command sequence always agree.
+	f := func(cmds []bool) bool {
+		a, b := core.NewTxnCounter(0), core.NewTxnCounter(0)
+		for _, isWrite := range cmds {
+			var va, vb uint64
+			if isWrite {
+				va, vb = a.NextWrite(), b.NextWrite()
+			} else {
+				va, vb = a.NextRead(), b.NextRead()
+			}
+			if va != vb {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomInitialCounter(t *testing.T) {
+	// Section III-F: the initial counter may be any agreed value.
+	sys, err := NewSystem(core.ModeSecDDR, DefaultGeometry(), TestKeys(), 0xdeadbeef12345678)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Write(0x40, fill(3))
+	if _, err := sys.Read(0x40); err != nil {
+		t.Errorf("random initial counter broke protocol: %v", err)
+	}
+}
+
+func TestProcessorStats(t *testing.T) {
+	sys := newSys(t, core.ModeSecDDR)
+	sys.Write(0x40, fill(1))
+	sys.Read(0x40)
+	p := sys.Processor()
+	if p.Writes != 1 || p.Reads != 1 || p.Violations != 0 {
+		t.Errorf("stats = w%d r%d v%d", p.Writes, p.Reads, p.Violations)
+	}
+}

@@ -1,0 +1,136 @@
+package protocol
+
+import (
+	"fmt"
+
+	"secddr/internal/core"
+	"secddr/internal/cryptoeng"
+)
+
+// System ties a processor engine, a channel, and a DIMM into a runnable
+// secure memory: the functional twin of the performance model. Reads and
+// writes take flat line addresses; the system maps them onto DRAM
+// coordinates, runs the full SecDDR wire protocol, and reports integrity
+// violations exactly where the paper says they surface.
+type System struct {
+	geom Geometry
+	mode core.Mode
+	proc *core.ProcessorEngine
+	dimm *DIMM
+
+	// Chan is the attacker-accessible channel. Mutate its hooks to mount
+	// attacks; leave them nil for benign operation.
+	Chan Channel
+
+	// Stats.
+	WritesDroppedByChannel uint64
+	WriteErrorsSignalled   uint64
+}
+
+// NewSystem builds a system in the given protocol mode. Keys would normally
+// come from attestation (package attest); tests may pass any 16-byte keys.
+func NewSystem(mode core.Mode, geom Geometry, keys core.Keys, initialCt uint64) (*System, error) {
+	proc, err := core.NewProcessorEngine(mode, keys, geom.Ranks, initialCt)
+	if err != nil {
+		return nil, err
+	}
+	dimm, err := NewDIMM(mode, geom, keys.Kt, initialCt)
+	if err != nil {
+		return nil, err
+	}
+	return &System{geom: geom, mode: mode, proc: proc, dimm: dimm}, nil
+}
+
+// Geometry returns the DIMM geometry.
+func (s *System) Geometry() Geometry { return s.geom }
+
+// DIMM exposes the module (attack staging: substitution, at-rest faults).
+func (s *System) DIMM() *DIMM { return s.dimm }
+
+// ReplaceDIMM swaps in a different module (substitution attacks or
+// legitimate replacement). The processor's counters are left untouched.
+func (s *System) ReplaceDIMM(d *DIMM) { s.dimm = d }
+
+// Processor exposes the processor engine (stats, counters).
+func (s *System) Processor() *core.ProcessorEngine { return s.proc }
+
+// MapAddr converts a flat line-aligned address to DRAM coordinates.
+func (s *System) MapAddr(addr uint64) (cryptoeng.WriteAddress, error) {
+	line := addr / core.LineBytes
+	col := line % uint64(s.geom.Cols)
+	line /= uint64(s.geom.Cols)
+	row := line % uint64(s.geom.Rows)
+	line /= uint64(s.geom.Rows)
+	bank := line % uint64(s.geom.Banks)
+	line /= uint64(s.geom.Banks)
+	bg := line % uint64(s.geom.BankGroups)
+	line /= uint64(s.geom.BankGroups)
+	rank := line
+	if rank >= uint64(s.geom.Ranks) {
+		return cryptoeng.WriteAddress{}, fmt.Errorf("protocol: address %#x beyond geometry", addr)
+	}
+	return cryptoeng.WriteAddress{
+		Rank: int(rank), BankGroup: int(bg), Bank: int(bank),
+		Row: uint32(row), Column: uint32(col),
+	}, nil
+}
+
+// Write performs one protected line write end to end. The returned error
+// distinguishes device-signalled rejections (eWCRC) from silent channel
+// drops (nil error — undetected until a later read, exactly as the paper
+// describes).
+func (s *System) Write(addr uint64, data [core.LineBytes]byte) error {
+	wa, err := s.MapAddr(addr)
+	if err != nil {
+		return err
+	}
+	msg := s.proc.PrepareWrite(wa, data)
+	if s.Chan.ConvertWriteToRead {
+		// Attacker rewrites the command type: the DIMM serves a read at
+		// the same address and the attacker swallows the response.
+		s.dimm.HandleRead(core.ReadMsg{Addr: msg.Addr})
+		return nil
+	}
+	if s.Chan.OnWrite != nil && !s.Chan.OnWrite(&msg) {
+		s.WritesDroppedByChannel++
+		return nil // dropped in flight: nobody notices yet
+	}
+	if err := s.dimm.HandleWrite(msg); err != nil {
+		s.WriteErrorsSignalled++
+		return err
+	}
+	return nil
+}
+
+// Read performs one protected line read end to end, returning the data and
+// any detected integrity violation.
+func (s *System) Read(addr uint64) ([core.LineBytes]byte, error) {
+	wa, err := s.MapAddr(addr)
+	if err != nil {
+		return [core.LineBytes]byte{}, err
+	}
+	ct := s.proc.BeginRead(wa.Rank)
+	msg := core.ReadMsg{Addr: wa}
+	if s.Chan.OnReadCmd != nil && !s.Chan.OnReadCmd(&msg) {
+		// A dropped read command hangs the bus in reality; model it as an
+		// immediate violation (timeout).
+		return [core.LineBytes]byte{}, fmt.Errorf("protocol: read command lost: %w", core.ErrIntegrityViolation)
+	}
+	resp := s.dimm.HandleRead(msg)
+	if s.Chan.OnReadResp != nil && !s.Chan.OnReadResp(&resp) {
+		return [core.LineBytes]byte{}, fmt.Errorf("protocol: read response lost: %w", core.ErrIntegrityViolation)
+	}
+	if err := s.proc.VerifyRead(wa, ct, resp); err != nil {
+		return resp.Data, err
+	}
+	return resp.Data, nil
+}
+
+// TestKeys returns fixed 16-byte keys for tests and examples. Production
+// systems derive keys via the attestation handshake (package attest).
+func TestKeys() core.Keys {
+	return core.Keys{
+		Kt:   []byte("kt-0123456789abc"),
+		Kmac: []byte("km-0123456789abc"),
+	}
+}

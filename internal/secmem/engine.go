@@ -1,0 +1,361 @@
+// Package secmem implements the performance models of every memory-
+// protection configuration the paper evaluates (Section IV-B): the
+// integrity-tree baseline (any arity, counter or hash tree), SecDDR with
+// counter-mode or AES-XTS encryption, the encrypt-only upper bounds, and an
+// InvisiMem-style authenticated channel.
+//
+// The engine sits between the LLC and the memory controller. Each LLC miss
+// expands into a data access plus the mode's metadata accesses (encryption
+// counters, integrity-tree levels), filtered through the shared 128KB
+// metadata cache; each LLC writeback additionally dirties the metadata it
+// touches. Crypto latencies follow the paper's rules: counter-mode OTPs are
+// pre-computed on metadata-cache hits (hiding decryption), AES-XTS pays the
+// full latency on every access, integrity verification is parallel across
+// tree levels, and the authenticated channel adds two MAC latencies to the
+// read critical path.
+package secmem
+
+import (
+	"container/heap"
+	"fmt"
+
+	"secddr/internal/cache"
+	"secddr/internal/config"
+	"secddr/internal/integrity"
+	"secddr/internal/memctrl"
+)
+
+// MetaBase is the physical base address of the security-metadata region
+// (counters, tree nodes, MAC blocks). Workload footprints must stay below
+// it.
+const MetaBase = uint64(12) << 30
+
+// ReadDone reports a finished protected read.
+type ReadDone struct {
+	Token    uint64
+	ReadyMem int64 // memory cycle at which the line is usable by the core
+}
+
+type reqKind int
+
+const (
+	kindData reqKind = iota + 1
+	kindMeta
+)
+
+type txn struct {
+	token       uint64
+	outstanding int
+	dataT       int64
+	metaT       int64
+	metaMiss    bool
+	isRead      bool
+	finished    bool
+}
+
+type backlogEntry struct {
+	t     *txn // nil for fire-and-forget writes
+	addr  uint64
+	kind  reqKind
+	write bool
+}
+
+type pendingRef struct {
+	t    *txn
+	kind reqKind
+}
+
+// Engine is the security-mode-aware memory front end.
+type Engine struct {
+	cfg       config.Config
+	ctl       *memctrl.Controller
+	metaCache *cache.Cache
+	tree      *integrity.Tree // tree or counter layout; nil for XTS non-tree
+
+	cryptoMem int64 // crypto latency converted to memory cycles
+	readAdder int64 // fixed addition to the data arrival (XTS, InvisiMem)
+	hasWalk   bool  // counter and/or tree metadata accesses exist
+	walkBuf   []uint64
+
+	pending map[uint64]pendingRef
+	backlog []backlogEntry
+	ready   readyHeap
+	nextTok uint64
+
+	// Stats.
+	ReadsStarted     uint64
+	WritesStarted    uint64
+	MetaReads        uint64 // metadata fetches from memory
+	MetaWritebacks   uint64 // dirty metadata evictions
+	ForwardedArrival uint64
+}
+
+// NewEngine wires a fresh controller, metadata cache, and tree for cfg.
+func NewEngine(cfg config.Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ctl, err := memctrl.New(cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:     cfg,
+		ctl:     ctl,
+		pending: make(map[uint64]pendingRef),
+	}
+	// Crypto latency in memory cycles, preserving nanoseconds.
+	c := cfg.Security.CryptoLatency
+	e.cryptoMem = int64((c*cfg.DRAM.ClockMHz + cfg.Core.ClockMHz - 1) / cfg.Core.ClockMHz)
+
+	sec := cfg.Security
+	needMeta := sec.Encryption == config.EncCounterMode ||
+		sec.Mode == config.ModeIntegrityTree
+	if needMeta {
+		e.metaCache, err = cache.New(sec.MetadataCache)
+		if err != nil {
+			return nil, err
+		}
+		perLeaf := sec.CountersPerLine
+		arity := sec.TreeArity
+		if sec.Mode != config.ModeIntegrityTree {
+			// Flat counters: a single-level "tree" (walk = counter line only).
+			arity = 2
+		}
+		if sec.HashTree {
+			perLeaf = 8 // 8 MACs of 8B per 64B line
+		}
+		e.tree, err = integrity.New(cfg.DRAM.CapacityBytes, cfg.LLC.LineBytes, perLeaf, arity, MetaBase)
+		if err != nil {
+			return nil, err
+		}
+		e.hasWalk = true
+	}
+
+	switch sec.Mode {
+	case config.ModeInvisiMem:
+		e.readAdder = 2 * e.cryptoMem
+	default:
+		if sec.Encryption == config.EncXTS {
+			e.readAdder = e.cryptoMem
+		}
+	}
+	return e, nil
+}
+
+// Controller exposes the memory controller (stats, ticking coordination).
+func (e *Engine) Controller() *memctrl.Controller { return e.ctl }
+
+// MetaCache exposes the metadata cache (nil for XTS-without-tree modes).
+func (e *Engine) MetaCache() *cache.Cache { return e.metaCache }
+
+// CryptoMemCycles returns the crypto latency in memory-clock cycles.
+func (e *Engine) CryptoMemCycles() int64 { return e.cryptoMem }
+
+// StartRead begins a protected read of addr and returns its token. The
+// caller learns completion from Tick.
+func (e *Engine) StartRead(addr uint64, now int64) uint64 {
+	e.nextTok++
+	e.ReadsStarted++
+	t := &txn{token: e.nextTok, isRead: true, dataT: -1, metaT: -1}
+	e.issue(t, addr, kindData, false, now)
+	if e.hasWalk {
+		e.walkReads(t, addr, now)
+	}
+	e.maybeFinish(t, now)
+	return t.token
+}
+
+// StartWrite begins a protected write-back of addr (fire and forget from
+// the core's perspective; the traffic still contends for the channel).
+func (e *Engine) StartWrite(addr uint64, now int64) {
+	e.WritesStarted++
+	e.issue(nil, addr, kindData, true, now)
+	if e.hasWalk {
+		e.walkWrite(addr, now)
+	}
+}
+
+// walkReads probes the metadata walk for a read: levels are trusted once a
+// cached ancestor is found; everything below is fetched in parallel
+// (the paper allows parallel tree-level verification).
+func (e *Engine) walkReads(t *txn, addr uint64, now int64) {
+	walk := e.walkAddrs(addr)
+	for _, a := range walk {
+		if e.metaCache.Access(a, false) {
+			break // trusted cached ancestor
+		}
+		e.fillMeta(a, false, now)
+		t.metaMiss = true
+		e.issue(t, a, kindMeta, false, now)
+	}
+}
+
+// walkWrite updates the metadata walk for a write: each level up to the
+// first cached ancestor is fetched (read-modify-write) and dirtied.
+func (e *Engine) walkWrite(addr uint64, now int64) {
+	walk := e.walkAddrs(addr)
+	for _, a := range walk {
+		if e.metaCache.Access(a, true) {
+			break // cached ancestor updated in place
+		}
+		e.fillMeta(a, true, now)
+		// The fetch itself: fire-and-forget read (RMW latency is off the
+		// core's critical path, but the traffic is real).
+		e.issue(nil, a, kindMeta, false, now)
+	}
+}
+
+// walkAddrs returns the metadata walk for addr. For flat-counter modes the
+// tree has a single stored level (the counter lines); for tree modes the
+// full leaf-to-root path.
+func (e *Engine) walkAddrs(addr uint64) []uint64 {
+	e.walkBuf = e.walkBuf[:0]
+	if e.cfg.Security.Mode == config.ModeIntegrityTree {
+		e.walkBuf = e.tree.WalkAddrs(e.walkBuf, addr)
+		return e.walkBuf
+	}
+	// Counter access only.
+	e.walkBuf = append(e.walkBuf, e.tree.LeafAddr(addr))
+	return e.walkBuf
+}
+
+// fillMeta installs a metadata line, writing back a dirty victim.
+func (e *Engine) fillMeta(a uint64, dirty bool, now int64) {
+	victim, has := e.metaCache.Fill(a, dirty)
+	if has && victim.Dirty {
+		e.MetaWritebacks++
+		e.issue(nil, victim.Addr, kindMeta, true, now)
+	}
+}
+
+// issue sends one memory request, falling back to the backlog on queue-full.
+func (e *Engine) issue(t *txn, addr uint64, kind reqKind, write bool, now int64) {
+	if t != nil {
+		t.outstanding++
+	}
+	if kind == kindMeta && !write {
+		e.MetaReads++
+	}
+	if !e.tryIssue(t, addr, kind, write, now) {
+		e.backlog = append(e.backlog, backlogEntry{t: t, addr: addr, kind: kind, write: write})
+	}
+}
+
+// tryIssue attempts the controller enqueue; returns false when full.
+func (e *Engine) tryIssue(t *txn, addr uint64, kind reqKind, write bool, now int64) bool {
+	if write {
+		if err := e.ctl.EnqueueWrite(addr, now); err != nil {
+			return false
+		}
+		if t != nil {
+			e.complete(t, kind, now)
+		}
+		return true
+	}
+	id, forwarded, err := e.ctl.EnqueueRead(addr, now)
+	if err != nil {
+		return false
+	}
+	if forwarded {
+		e.ForwardedArrival++
+		if t != nil {
+			e.complete(t, kind, now)
+		}
+		return true
+	}
+	if t != nil {
+		e.pending[id] = pendingRef{t: t, kind: kind}
+	} else {
+		e.pending[id] = pendingRef{}
+	}
+	return true
+}
+
+// complete records one arrival for a transaction.
+func (e *Engine) complete(t *txn, kind reqKind, at int64) {
+	switch kind {
+	case kindData:
+		t.dataT = at
+	case kindMeta:
+		if at > t.metaT {
+			t.metaT = at
+		}
+	}
+	t.outstanding--
+	e.maybeFinish(t, at)
+}
+
+// maybeFinish computes the ready time once all arrivals are in.
+func (e *Engine) maybeFinish(t *txn, now int64) {
+	if t.outstanding != 0 || !t.isRead || t.finished {
+		return
+	}
+	t.finished = true
+	ready := t.dataT + e.readAdder
+	if t.metaMiss {
+		// OTP generation / verification completes cryptoMem after the last
+		// metadata arrival; no speculative use of data.
+		if v := t.metaT + e.cryptoMem; v > ready {
+			ready = v
+		}
+	}
+	if ready < now {
+		ready = now
+	}
+	heap.Push(&e.ready, ReadDone{Token: t.token, ReadyMem: ready})
+}
+
+// Tick advances one memory cycle: drains the backlog, ticks the controller,
+// routes completions, and returns reads that became usable.
+func (e *Engine) Tick(now int64) []ReadDone {
+	// Drain backlog in order.
+	for len(e.backlog) > 0 {
+		b := e.backlog[0]
+		if !e.tryIssue(b.t, b.addr, b.kind, b.write, now) {
+			break
+		}
+		e.backlog = e.backlog[1:]
+	}
+	for _, comp := range e.ctl.Tick(now) {
+		ref, ok := e.pending[comp.ID]
+		if !ok {
+			continue
+		}
+		delete(e.pending, comp.ID)
+		if ref.t != nil {
+			e.complete(ref.t, ref.kind, comp.Done)
+		}
+	}
+	var out []ReadDone
+	for e.ready.Len() > 0 && e.ready[0].ReadyMem <= now {
+		out = append(out, heap.Pop(&e.ready).(ReadDone))
+	}
+	return out
+}
+
+// Idle reports whether all queues, backlogs, and pending work are drained.
+func (e *Engine) Idle() bool {
+	return len(e.backlog) == 0 && len(e.pending) == 0 && e.ready.Len() == 0 && e.ctl.Idle()
+}
+
+// String summarizes engine state.
+func (e *Engine) String() string {
+	return fmt.Sprintf("engine{mode=%v backlog=%d pending=%d}",
+		e.cfg.Security.Mode, len(e.backlog), len(e.pending))
+}
+
+// readyHeap orders completions by ready time.
+type readyHeap []ReadDone
+
+func (h readyHeap) Len() int            { return len(h) }
+func (h readyHeap) Less(i, j int) bool  { return h[i].ReadyMem < h[j].ReadyMem }
+func (h readyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x interface{}) { *h = append(*h, x.(ReadDone)) }
+func (h *readyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,401 @@
+// Package sim wires the full simulated system of Table I: four trace-driven
+// out-of-order cores sharing an LLC with a stream prefetcher, a security
+// engine (the mode under evaluation), and one DDR4 channel behind a
+// FR-FCFS memory controller. It runs the CPU and memory clock domains at
+// their true ratio and reports the figures' metrics (per-core and total
+// IPC, LLC MPKI, metadata-cache behaviour, DRAM statistics).
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"secddr/internal/cache"
+	"secddr/internal/config"
+	"secddr/internal/cpu"
+	"secddr/internal/secmem"
+	"secddr/internal/trace"
+)
+
+// Options configures one simulation run.
+type Options struct {
+	Config       config.Config
+	Workload     trace.Profile
+	InstrPerCore uint64 // measured retirement target per core
+	WarmupInstr  uint64 // per-core instructions before measurement starts
+	Seed         uint64
+	MSHRsPerCore int   // outstanding LLC misses per core (default 16)
+	MaxCycles    int64 // safety cap on CPU cycles (default 400x instr target)
+}
+
+// Result carries the metrics the paper's figures report.
+type Result struct {
+	Workload     string
+	Mode         config.Mode
+	IPC          float64 // total IPC (sum of per-core IPC, as in Fig. 6)
+	PerCoreIPC   []float64
+	Instructions uint64
+	Cycles       int64 // CPU cycles until the last core finished
+
+	LLCMPKI         float64 // demand misses per kilo-instruction
+	LLCMissRate     float64
+	MetaMissRate    float64 // metadata cache (Fig. 7)
+	MetaAccesses    uint64
+	MetaMemReads    uint64  // metadata fetches that reached DRAM
+	AvgReadLatency  float64 // memory cycles, controller enqueue to data
+	RowHitRate      float64
+	DRAMReads       uint64
+	DRAMWrites      uint64
+	BandwidthGBs    float64 // average data-bus bandwidth
+	PrefetchesSent  uint64
+	WritebacksToMem uint64
+}
+
+// mshrEntry tracks one outstanding LLC line fill.
+type mshrEntry struct {
+	lineAddr    uint64
+	dirtyOnFill bool
+	prefetch    bool
+	waiters     []waiter
+	core        int // demanding core (for MSHR accounting)
+}
+
+type waiter struct {
+	core  int
+	token uint64
+}
+
+type system struct {
+	opt    Options
+	engine *secmem.Engine
+	llc    *cache.Cache
+	pf     *cache.StreamPrefetcher
+	cores  []*cpu.Core
+
+	memNow     int64
+	cpuNow     int64
+	memAcc     int
+	byLine     map[uint64]*mshrEntry // pending fills by line address
+	byToken    map[uint64]*mshrEntry // engine token -> entry
+	mshrInUse  []int
+	nextToken  uint64
+	outstandPf int
+
+	finishCycle []int64
+	warmCycle   []int64
+	demandMiss  uint64
+	llcAccess   uint64
+	prefetches  uint64
+	snap        snapshot
+}
+
+// snapshot freezes the measurement-relevant counters at warmup completion
+// so collect() reports the measured region only.
+type snapshot struct {
+	demandMiss, llcAccess        uint64
+	metaAcc, metaMiss, metaReads uint64
+	readLatSum, readsDone        uint64
+	writesEnq                    uint64
+	numRD, numWR                 uint64
+	rowHits, rowMisses, rowConfl uint64
+	busBusy                      uint64
+	memNow                       int64
+	instructions                 uint64
+}
+
+func (s *system) takeSnapshot() {
+	ctl := s.engine.Controller()
+	ch := ctl.Channel()
+	s.snap = snapshot{
+		demandMiss: s.demandMiss,
+		llcAccess:  s.llcAccess,
+		metaReads:  s.engine.MetaReads,
+		readLatSum: ctl.ReadLatencySum,
+		readsDone:  ctl.ReadsCompleted,
+		writesEnq:  ctl.WritesEnqueued,
+		numRD:      ch.NumRD,
+		numWR:      ch.NumWR,
+		rowHits:    ch.RowHits,
+		rowMisses:  ch.RowMisses,
+		rowConfl:   ch.RowConflicts,
+		busBusy:    ch.DataBusBusyCycles,
+		memNow:     s.memNow,
+	}
+	if mc := s.engine.MetaCache(); mc != nil {
+		s.snap.metaAcc = mc.Accesses
+		s.snap.metaMiss = mc.Misses
+	}
+	for _, c := range s.cores {
+		s.snap.instructions += c.Retired
+	}
+}
+
+type corePort struct {
+	s  *system
+	id int
+}
+
+var _ cpu.Memory = (*corePort)(nil)
+
+const _lineMask = ^uint64(63)
+
+// Load implements cpu.Memory.
+func (p *corePort) Load(addr uint64, now int64) cpu.LoadResult {
+	s := p.s
+	line := addr & _lineMask
+	s.llcAccess++
+	if s.llc.Access(line, false) {
+		return cpu.LoadResult{
+			Accepted: true,
+			ReadyAt:  now + int64(s.opt.Config.LLC.HitLatency),
+		}
+	}
+	s.demandMiss++
+	// Merge into an existing fill.
+	if e, ok := s.byLine[line]; ok {
+		s.nextToken++
+		e.waiters = append(e.waiters, waiter{core: p.id, token: s.nextToken})
+		return cpu.LoadResult{Accepted: true, Async: true, Token: s.nextToken}
+	}
+	if s.mshrInUse[p.id] >= s.opt.MSHRsPerCore {
+		return cpu.LoadResult{} // structural stall
+	}
+	s.trainPrefetcher(line)
+	s.nextToken++
+	tok := s.nextToken
+	e := &mshrEntry{lineAddr: line, core: p.id,
+		waiters: []waiter{{core: p.id, token: tok}}}
+	s.startFill(e)
+	return cpu.LoadResult{Accepted: true, Async: true, Token: tok}
+}
+
+// Store implements cpu.Memory (write-allocate: a store miss fetches the
+// line, then dirties it; the store itself never blocks retirement unless
+// MSHRs are exhausted).
+func (p *corePort) Store(addr uint64, now int64) bool {
+	s := p.s
+	line := addr & _lineMask
+	s.llcAccess++
+	if s.llc.Access(line, true) {
+		return true
+	}
+	s.demandMiss++
+	if e, ok := s.byLine[line]; ok {
+		e.dirtyOnFill = true
+		return true
+	}
+	if s.mshrInUse[p.id] >= s.opt.MSHRsPerCore {
+		return false
+	}
+	s.trainPrefetcher(line)
+	e := &mshrEntry{lineAddr: line, core: p.id, dirtyOnFill: true}
+	s.startFill(e)
+	return true
+}
+
+// startFill issues the engine read backing an LLC fill.
+func (s *system) startFill(e *mshrEntry) {
+	s.byLine[e.lineAddr] = e
+	tok := s.engine.StartRead(e.lineAddr, s.memNow)
+	s.byToken[tok] = e
+	if e.prefetch {
+		s.outstandPf++
+		s.prefetches++
+	} else {
+		s.mshrInUse[e.core]++
+	}
+}
+
+// trainPrefetcher observes a demand miss and launches prefetch fills.
+func (s *system) trainPrefetcher(line uint64) {
+	const maxOutstandingPf = 32
+	for _, target := range s.pf.Observe(line) {
+		t := target & _lineMask
+		if s.outstandPf >= maxOutstandingPf {
+			break
+		}
+		if s.llc.Probe(t) {
+			continue
+		}
+		if _, pending := s.byLine[t]; pending {
+			continue
+		}
+		s.startFill(&mshrEntry{lineAddr: t, prefetch: true})
+	}
+}
+
+// memTick advances the memory domain one cycle and routes completions.
+func (s *system) memTick() {
+	s.memNow++
+	for _, done := range s.engine.Tick(s.memNow) {
+		e, ok := s.byToken[done.Token]
+		if !ok {
+			continue
+		}
+		delete(s.byToken, done.Token)
+		delete(s.byLine, e.lineAddr)
+		if e.prefetch {
+			s.outstandPf--
+		} else {
+			s.mshrInUse[e.core]--
+		}
+		victim, has := s.llc.Fill(e.lineAddr, e.dirtyOnFill)
+		if has && victim.Dirty {
+			s.engine.StartWrite(victim.Addr, s.memNow)
+		}
+		for _, w := range e.waiters {
+			if s.finishCycle[w.core] == 0 {
+				s.cores[w.core].CompleteLoad(w.token, s.cpuNow)
+			}
+		}
+	}
+}
+
+// Run executes one simulation and returns its metrics.
+func Run(opt Options) (Result, error) {
+	if opt.InstrPerCore == 0 {
+		return Result{}, errors.New("sim: InstrPerCore must be positive")
+	}
+	if opt.MSHRsPerCore == 0 {
+		opt.MSHRsPerCore = 16
+	}
+	if opt.MaxCycles == 0 {
+		opt.MaxCycles = int64(opt.InstrPerCore) * 400
+	}
+	if err := opt.Config.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	engine, err := secmem.NewEngine(opt.Config)
+	if err != nil {
+		return Result{}, err
+	}
+	llc, err := cache.New(opt.Config.LLC)
+	if err != nil {
+		return Result{}, err
+	}
+	s := &system{
+		opt:     opt,
+		engine:  engine,
+		llc:     llc,
+		pf:      cache.NewStreamPrefetcher(opt.Config.Prefetch),
+		byLine:  make(map[uint64]*mshrEntry),
+		byToken: make(map[uint64]*mshrEntry),
+	}
+	n := opt.Config.Core.NumCores
+	s.cores = make([]*cpu.Core, n)
+	s.mshrInUse = make([]int, n)
+	s.finishCycle = make([]int64, n)
+	s.warmCycle = make([]int64, n)
+	for i := 0; i < n; i++ {
+		gen, err := trace.NewGenerator(opt.Workload, uint64(i)*(2<<30), opt.Seed+uint64(i)*0x1234567)
+		if err != nil {
+			return Result{}, err
+		}
+		// Functional warmup, part 1: fill this core's share of the LLC with
+		// a statistically equivalent address stream (different seed) so the
+		// measured region starts from a full cache — evictions and dirty
+		// writebacks flow from the first cycle, as in steady state.
+		warmGen, err := trace.NewGenerator(opt.Workload, uint64(i)*(2<<30), opt.Seed+uint64(i)*0x1234567+0x9e3779b9)
+		if err != nil {
+			return Result{}, err
+		}
+		share := opt.Config.LLC.SizeBytes / opt.Config.LLC.LineBytes / n
+		for j := 0; j < share; j++ {
+			op, _ := warmGen.Next()
+			s.llc.Fill(op.Addr&_lineMask, op.Store)
+		}
+		// Part 2: install the hot set (most recently used, so it survives).
+		gen.VisitHotPages(func(page uint64) {
+			for off := uint64(0); off < 4096; off += 64 {
+				s.llc.Fill(page+off, false)
+			}
+		})
+		s.cores[i] = cpu.NewCore(opt.Config.Core, &corePort{s: s, id: i}, gen)
+	}
+	s.llc.Accesses, s.llc.Hits, s.llc.Misses, s.llc.Evictions, s.llc.Writebacks = 0, 0, 0, 0, 0
+
+	cpuMHz := opt.Config.Core.ClockMHz
+	memMHz := opt.Config.DRAM.ClockMHz
+	remaining := n
+	warming := n
+	target := opt.WarmupInstr + opt.InstrPerCore
+	for remaining > 0 && s.cpuNow < opt.MaxCycles {
+		s.memAcc += memMHz
+		for s.memAcc >= cpuMHz {
+			s.memAcc -= cpuMHz
+			s.memTick()
+		}
+		for i, c := range s.cores {
+			if s.finishCycle[i] != 0 {
+				continue
+			}
+			c.Tick(s.cpuNow)
+			if s.warmCycle[i] == 0 && c.Retired >= opt.WarmupInstr {
+				s.warmCycle[i] = s.cpuNow + 1
+				warming--
+				if warming == 0 {
+					s.takeSnapshot()
+				}
+			}
+			if c.Retired >= target {
+				s.finishCycle[i] = s.cpuNow + 1
+				remaining--
+			}
+		}
+		s.cpuNow++
+	}
+	if remaining > 0 {
+		return Result{}, fmt.Errorf("sim: %s/%v exceeded cycle cap %d (%d cores unfinished)",
+			opt.Workload.Name, opt.Config.Security.Mode, opt.MaxCycles, remaining)
+	}
+	return s.collect(), nil
+}
+
+func (s *system) collect() Result {
+	r := Result{
+		Workload: s.opt.Workload.Name,
+		Mode:     s.opt.Config.Security.Mode,
+		Cycles:   s.cpuNow,
+	}
+	for i, c := range s.cores {
+		ipc := float64(s.opt.InstrPerCore) / float64(s.finishCycle[i]-s.warmCycle[i])
+		r.PerCoreIPC = append(r.PerCoreIPC, ipc)
+		r.IPC += ipc
+		r.Instructions += c.Retired
+	}
+	r.Instructions -= s.snap.instructions
+	ki := float64(r.Instructions) / 1000
+	r.LLCMPKI = float64(s.demandMiss-s.snap.demandMiss) / ki
+	if acc := s.llcAccess - s.snap.llcAccess; acc > 0 {
+		r.LLCMissRate = float64(s.demandMiss-s.snap.demandMiss) / float64(acc)
+	}
+	if mc := s.engine.MetaCache(); mc != nil {
+		if acc := mc.Accesses - s.snap.metaAcc; acc > 0 {
+			r.MetaMissRate = float64(mc.Misses-s.snap.metaMiss) / float64(acc)
+		}
+		r.MetaAccesses = mc.Accesses - s.snap.metaAcc
+	}
+	r.MetaMemReads = s.engine.MetaReads - s.snap.metaReads
+	ctl := s.engine.Controller()
+	if done := ctl.ReadsCompleted - s.snap.readsDone; done > 0 {
+		r.AvgReadLatency = float64(ctl.ReadLatencySum-s.snap.readLatSum) / float64(done)
+	}
+	ch := ctl.Channel()
+	r.DRAMReads = ch.NumRD - s.snap.numRD
+	r.DRAMWrites = ch.NumWR - s.snap.numWR
+	hits := ch.RowHits - s.snap.rowHits
+	total := hits + (ch.RowMisses - s.snap.rowMisses) + (ch.RowConflicts - s.snap.rowConfl)
+	if total > 0 {
+		r.RowHitRate = float64(hits) / float64(total)
+	}
+	if dm := s.memNow - s.snap.memNow; dm > 0 {
+		// Bytes moved / wall time: busy cycles x 2 beats x 8 bytes.
+		bytes := float64(ch.DataBusBusyCycles-s.snap.busBusy) * 2 * 8
+		seconds := float64(dm) / (float64(s.opt.Config.DRAM.ClockMHz) * 1e6)
+		r.BandwidthGBs = bytes / seconds / 1e9
+	}
+	r.PrefetchesSent = s.prefetches
+	r.WritebacksToMem = ctl.WritesEnqueued - s.snap.writesEnq
+	return r
+}

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"testing"
+
+	"secddr/internal/config"
+	"secddr/internal/trace"
+)
+
+func runWorkload(t *testing.T, name string, mode config.Mode, instr uint64) Result {
+	t.Helper()
+	p, ok := trace.ByName(name)
+	if !ok {
+		t.Fatalf("unknown workload %s", name)
+	}
+	cfg := config.Table1(mode)
+	res, err := Run(Options{Config: cfg, Workload: p, InstrPerCore: instr, Seed: 1})
+	if err != nil {
+		t.Fatalf("Run(%s, %v): %v", name, mode, err)
+	}
+	return res
+}
+
+func TestRunCompletes(t *testing.T) {
+	res := runWorkload(t, "gcc", config.ModeUnprotected, 100_000)
+	if res.Instructions < 400_000 {
+		t.Errorf("instructions = %d, want >= 4x100k", res.Instructions)
+	}
+	if res.IPC <= 0 || res.IPC > 24 {
+		t.Errorf("total IPC = %.2f out of range", res.IPC)
+	}
+	if len(res.PerCoreIPC) != 4 {
+		t.Errorf("per-core IPC count = %d", len(res.PerCoreIPC))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := runWorkload(t, "mcf", config.ModeSecDDRCTR, 50_000)
+	b := runWorkload(t, "mcf", config.ModeSecDDRCTR, 50_000)
+	if a.IPC != b.IPC || a.Cycles != b.Cycles || a.DRAMReads != b.DRAMReads {
+		t.Errorf("non-deterministic: %.4f/%.4f cycles %d/%d", a.IPC, b.IPC, a.Cycles, b.Cycles)
+	}
+}
+
+func TestComputeBoundNearPeak(t *testing.T) {
+	res := runWorkload(t, "exchange2", config.ModeUnprotected, 100_000)
+	// 4 cores x 6-wide with MPKI 0.05: total IPC should approach 24.
+	if res.IPC < 12 {
+		t.Errorf("compute-bound IPC = %.2f, want > 12", res.IPC)
+	}
+}
+
+func TestMemoryBoundFarBelowPeak(t *testing.T) {
+	res := runWorkload(t, "sssp", config.ModeUnprotected, 50_000)
+	if res.IPC > 8 {
+		t.Errorf("sssp IPC = %.2f, expected memory-bound", res.IPC)
+	}
+	if res.LLCMPKI < 10 {
+		t.Errorf("sssp measured MPKI = %.1f, want memory-intensive", res.LLCMPKI)
+	}
+}
+
+func TestIntensityOrdering(t *testing.T) {
+	light := runWorkload(t, "povray", config.ModeUnprotected, 100_000)
+	heavy := runWorkload(t, "pr", config.ModeUnprotected, 50_000)
+	if light.LLCMPKI >= heavy.LLCMPKI {
+		t.Errorf("MPKI povray=%.2f >= pr=%.2f", light.LLCMPKI, heavy.LLCMPKI)
+	}
+	if light.IPC <= heavy.IPC {
+		t.Errorf("IPC povray=%.2f <= pr=%.2f", light.IPC, heavy.IPC)
+	}
+}
+
+func TestTreeSlowerThanSecDDROnRandomWorkload(t *testing.T) {
+	// The paper's core result: integrity trees hurt random-access
+	// workloads; SecDDR tracks encrypt-only.
+	tree := runWorkload(t, "pr", config.ModeIntegrityTree, 50_000)
+	sec := runWorkload(t, "pr", config.ModeSecDDRCTR, 50_000)
+	enc := runWorkload(t, "pr", config.ModeEncryptOnlyCTR, 50_000)
+	if sec.IPC <= tree.IPC {
+		t.Errorf("SecDDR (%.3f) not faster than tree (%.3f) on pr", sec.IPC, tree.IPC)
+	}
+	if sec.IPC > enc.IPC*1.02 {
+		t.Errorf("SecDDR (%.3f) implausibly faster than encrypt-only (%.3f)", sec.IPC, enc.IPC)
+	}
+	if tree.MetaMemReads <= sec.MetaMemReads {
+		t.Errorf("tree metadata reads (%d) not above SecDDR (%d)", tree.MetaMemReads, sec.MetaMemReads)
+	}
+}
+
+func TestSecDDRCloseToEncryptOnly(t *testing.T) {
+	// Fig. 6: SecDDR+XTS within ~1% of encrypt-only XTS (write burst only).
+	sec := runWorkload(t, "omnetpp", config.ModeSecDDRXTS, 50_000)
+	enc := runWorkload(t, "omnetpp", config.ModeEncryptOnlyXTS, 50_000)
+	rel := sec.IPC / enc.IPC
+	if rel < 0.93 || rel > 1.03 {
+		t.Errorf("SecDDR+XTS / encrypt-only = %.3f, want near 1", rel)
+	}
+}
+
+func TestInvisiMemRealisticSlower(t *testing.T) {
+	p, _ := trace.ByName("bwaves")
+	base := config.Table1(config.ModeInvisiMem)
+	fast, err := Run(Options{Config: base, Workload: p, InstrPerCore: 50_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := config.Table1(config.ModeInvisiMem)
+	slow.Security.InvisiMemRealistic = true
+	slow.Normalize()
+	real, err := Run(Options{Config: slow, Workload: p, InstrPerCore: 50_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real.IPC >= fast.IPC {
+		t.Errorf("realistic InvisiMem (%.3f) not slower than unrealistic (%.3f)", real.IPC, fast.IPC)
+	}
+}
+
+func TestMetadataCacheStatsOnlyForCounterModes(t *testing.T) {
+	xts := runWorkload(t, "gcc", config.ModeEncryptOnlyXTS, 50_000)
+	if xts.MetaAccesses != 0 {
+		t.Errorf("XTS mode recorded %d metadata accesses", xts.MetaAccesses)
+	}
+	ctr := runWorkload(t, "gcc", config.ModeEncryptOnlyCTR, 50_000)
+	if ctr.MetaAccesses == 0 {
+		t.Error("counter mode recorded no metadata accesses")
+	}
+}
+
+func TestWriteIntensiveWorkloadPaysForEWCRC(t *testing.T) {
+	// lbm: the only Fig. 6 workload slowed by SecDDR (longer write bursts).
+	sec := runWorkload(t, "lbm", config.ModeSecDDRXTS, 50_000)
+	enc := runWorkload(t, "lbm", config.ModeEncryptOnlyXTS, 50_000)
+	if sec.IPC > enc.IPC {
+		t.Errorf("lbm faster with eWCRC bursts (%.3f > %.3f)", sec.IPC, enc.IPC)
+	}
+}
+
+func TestBandwidthAndRowStatsPopulated(t *testing.T) {
+	res := runWorkload(t, "bwaves", config.ModeUnprotected, 50_000)
+	if res.BandwidthGBs <= 0 {
+		t.Error("bandwidth not recorded")
+	}
+	if res.RowHitRate <= 0 || res.RowHitRate > 1 {
+		t.Errorf("row hit rate = %.3f", res.RowHitRate)
+	}
+	if res.DRAMReads == 0 {
+		t.Error("no DRAM reads recorded")
+	}
+}
+
+func TestRejectsZeroInstructions(t *testing.T) {
+	p, _ := trace.ByName("gcc")
+	if _, err := Run(Options{Config: config.Table1(config.ModeUnprotected), Workload: p}); err == nil {
+		t.Error("accepted zero instruction target")
+	}
+}

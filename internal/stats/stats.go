@@ -1,0 +1,226 @@
+// Package stats provides lightweight statistics collection for the
+// simulator: named counters, scalar gauges, rate pairs, and latency
+// histograms, plus helpers for the normalized-IPC reporting used by the
+// paper's figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Set is a named collection of simulation statistics. The zero value is not
+// usable; construct with NewSet. Set is not safe for concurrent use: the
+// simulator is single-threaded by design (deterministic cycle loop).
+type Set struct {
+	counters map[string]uint64
+	scalars  map[string]float64
+	hists    map[string]*Histogram
+}
+
+// NewSet returns an empty statistics set.
+func NewSet() *Set {
+	return &Set{
+		counters: make(map[string]uint64),
+		scalars:  make(map[string]float64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Add increments the named counter by n.
+func (s *Set) Add(name string, n uint64) { s.counters[name] += n }
+
+// Inc increments the named counter by one.
+func (s *Set) Inc(name string) { s.counters[name]++ }
+
+// Counter returns the current value of a counter (zero if never touched).
+func (s *Set) Counter(name string) uint64 { return s.counters[name] }
+
+// SetScalar records a scalar gauge value.
+func (s *Set) SetScalar(name string, v float64) { s.scalars[name] = v }
+
+// Scalar returns a gauge value (zero if never set).
+func (s *Set) Scalar(name string) float64 { return s.scalars[name] }
+
+// Observe records v into the named histogram, creating it on first use.
+func (s *Set) Observe(name string, v uint64) {
+	h, ok := s.hists[name]
+	if !ok {
+		h = NewHistogram()
+		s.hists[name] = h
+	}
+	h.Observe(v)
+}
+
+// Histogram returns the named histogram, or nil if nothing was observed.
+func (s *Set) Hist(name string) *Histogram { return s.hists[name] }
+
+// Ratio returns counter(num)/counter(den), or 0 when the denominator is zero.
+func (s *Set) Ratio(num, den string) float64 {
+	d := s.counters[den]
+	if d == 0 {
+		return 0
+	}
+	return float64(s.counters[num]) / float64(d)
+}
+
+// Merge adds every statistic in other into s (counters sum, scalars are
+// overwritten, histograms merge).
+func (s *Set) Merge(other *Set) {
+	for k, v := range other.counters {
+		s.counters[k] += v
+	}
+	for k, v := range other.scalars {
+		s.scalars[k] = v
+	}
+	for k, h := range other.hists {
+		dst, ok := s.hists[k]
+		if !ok {
+			dst = NewHistogram()
+			s.hists[k] = dst
+		}
+		dst.Merge(h)
+	}
+}
+
+// Names returns all counter names in sorted order.
+func (s *Set) Names() []string {
+	names := make([]string, 0, len(s.counters))
+	for k := range s.counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the set as "name=value" lines, sorted, for debugging.
+func (s *Set) String() string {
+	var b strings.Builder
+	for _, k := range s.Names() {
+		fmt.Fprintf(&b, "%s=%d\n", k, s.counters[k])
+	}
+	keys := make([]string, 0, len(s.scalars))
+	for k := range s.scalars {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%.6g\n", k, s.scalars[k])
+	}
+	return b.String()
+}
+
+// Histogram is a power-of-two bucketed latency histogram. Bucket i counts
+// observations v with 2^(i-1) < v <= 2^i (bucket 0 counts v <= 1).
+type Histogram struct {
+	buckets [64]uint64
+	count   uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{min: math.MaxUint64} }
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[bucketOf(v)]++
+}
+
+func bucketOf(v uint64) int {
+	b := 0
+	for v > 1 {
+		v >>= 1
+		b++
+	}
+	return b
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min returns the smallest observation (0 if empty).
+func (h *Histogram) Min() uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Percentile returns an upper bound for the p-th percentile (0 < p <= 100)
+// at bucket granularity.
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p / 100 * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			return uint64(1) << uint(i)
+		}
+	}
+	return h.max
+}
+
+// Merge adds all observations from other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.count == 0 {
+		return
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// GeoMean returns the geometric mean of xs, ignoring non-positive entries.
+// It is used for the "gmean" bars in the paper's figures.
+func GeoMean(xs []float64) float64 {
+	var sum float64
+	var n int
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		sum += math.Log(x)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}

@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounters(t *testing.T) {
+	s := NewSet()
+	s.Inc("reads")
+	s.Add("reads", 9)
+	if got := s.Counter("reads"); got != 10 {
+		t.Errorf("reads = %d, want 10", got)
+	}
+	if got := s.Counter("missing"); got != 0 {
+		t.Errorf("missing counter = %d, want 0", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	s := NewSet()
+	s.Add("hits", 3)
+	s.Add("accesses", 4)
+	if got := s.Ratio("hits", "accesses"); got != 0.75 {
+		t.Errorf("ratio = %v, want 0.75", got)
+	}
+	if got := s.Ratio("hits", "never"); got != 0 {
+		t.Errorf("ratio with zero denominator = %v, want 0", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewSet(), NewSet()
+	a.Add("x", 1)
+	b.Add("x", 2)
+	b.Add("y", 5)
+	b.Observe("lat", 8)
+	a.Merge(b)
+	if a.Counter("x") != 3 || a.Counter("y") != 5 {
+		t.Errorf("merged counters wrong: x=%d y=%d", a.Counter("x"), a.Counter("y"))
+	}
+	if a.Hist("lat") == nil || a.Hist("lat").Count() != 1 {
+		t.Error("merged histogram missing")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []uint64{1, 2, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Errorf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if got, want := h.Mean(), 26.5; got != want {
+		t.Errorf("mean = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	h := NewHistogram()
+	for i := uint64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	p50 := h.Percentile(50)
+	if p50 < 256 || p50 > 1024 {
+		t.Errorf("p50 = %d out of plausible bucket range", p50)
+	}
+	if h.Percentile(100) < h.Percentile(50) {
+		t.Error("percentiles not monotone")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Percentile(99) != 0 {
+		t.Error("empty histogram returned nonzero summary")
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	tests := []struct {
+		v    uint64
+		want int
+	}{{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {1024, 10}, {1025, 10}}
+	for _, tt := range tests {
+		if got := bucketOf(tt.v); got != tt.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean(1,4) = %v, want 2", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v, want 0", got)
+	}
+	// Non-positive entries are ignored.
+	if got := GeoMean([]float64{0, -1, 8}); math.Abs(got-8) > 1e-12 {
+		t.Errorf("GeoMean with ignored entries = %v, want 8", got)
+	}
+}
+
+func TestGeoMeanProperty(t *testing.T) {
+	// GeoMean of a constant slice is the constant.
+	f := func(k uint8, n uint8) bool {
+		c := float64(k%100) + 1
+		xs := make([]float64, n%16+1)
+		for i := range xs {
+			xs[i] = c
+		}
+		return math.Abs(GeoMean(xs)-c) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramMergeProperty(t *testing.T) {
+	// Merging two histograms preserves total count and sum-derived mean.
+	f := func(a, b []uint16) bool {
+		h1, h2 := NewHistogram(), NewHistogram()
+		var sum, n uint64
+		for _, v := range a {
+			h1.Observe(uint64(v))
+			sum += uint64(v)
+			n++
+		}
+		for _, v := range b {
+			h2.Observe(uint64(v))
+			sum += uint64(v)
+			n++
+		}
+		h1.Merge(h2)
+		if h1.Count() != n {
+			return false
+		}
+		if n == 0 {
+			return h1.Mean() == 0
+		}
+		return math.Abs(h1.Mean()-float64(sum)/float64(n)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+// Package trace generates the synthetic workload streams that stand in for
+// the paper's SPEC CPU2017 rate and GAPBS SimPoints (see DESIGN.md,
+// "Substitutions"). Each of the 29 benchmarks in Figs. 6/7/10/12 has a
+// profile parameterized by LLC-level memory intensity (MPKI), store
+// fraction, access pattern, locality, and pointer-chase dependence; a
+// deterministic generator expands a profile into the cpu.Op stream one core
+// executes. Virtual pages are scattered through the physical footprint with
+// a random page permutation, mirroring the paper's random virtual-to-
+// physical page mapping.
+package trace
+
+import "fmt"
+
+// Pattern classifies the cold-region (non-cached) access behaviour.
+type Pattern int
+
+// Access patterns used by the benchmark profiles.
+const (
+	// PatternStream walks several sequential streams (stencil/array codes).
+	PatternStream Pattern = iota + 1
+	// PatternStrided walks streams with a multi-line stride.
+	PatternStrided
+	// PatternRandom touches uniformly random lines.
+	PatternRandom
+	// PatternChase is random with address-dependent loads (linked data).
+	PatternChase
+	// PatternGraph mixes sequential frontier scans with random neighbour
+	// lookups (GAPBS-style).
+	PatternGraph
+	// PatternMixed interleaves streaming and random.
+	PatternMixed
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case PatternStream:
+		return "stream"
+	case PatternStrided:
+		return "strided"
+	case PatternRandom:
+		return "random"
+	case PatternChase:
+		return "chase"
+	case PatternGraph:
+		return "graph"
+	case PatternMixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// Profile parameterizes one benchmark proxy.
+type Profile struct {
+	Name          string
+	MPKI          float64 // target LLC demand misses per kilo-instruction
+	StoreFrac     float64 // fraction of memory ops that are stores
+	DependentFrac float64 // fraction of loads that depend on the previous load
+	Footprint     uint64  // bytes of distinct physical memory touched
+	HotFrac       float64 // fraction of accesses hitting the hot (cacheable) set
+	HotBytes      uint64  // hot-set size
+	Pattern       Pattern
+}
+
+// MemIntensive reports whether the paper classifies the workload as memory
+// intensive (LLC MPKI >= 10, Section IV-A).
+func (p Profile) MemIntensive() bool { return p.MPKI >= 10 }
+
+const (
+	_kb = 1 << 10
+	_mb = 1 << 20
+	_gb = 1 << 30
+)
+
+// _profiles lists the 29 workloads of Figs. 6/7/10/12 in figure order.
+// MPKI values follow Fig. 7; patterns and localities follow the benchmark
+// characterizations discussed in Section V (e.g., pr/bc/sssp random with
+// low locality; lbm write-intensive streaming; bfs/tc high locality).
+var _profiles = []Profile{
+	{Name: "perlbench", MPKI: 0.4, StoreFrac: 0.25, Footprint: 256 * _mb, HotFrac: 0.95, HotBytes: 256 * _kb, Pattern: PatternMixed},
+	{Name: "gcc", MPKI: 1.2, StoreFrac: 0.25, Footprint: 512 * _mb, HotFrac: 0.90, HotBytes: 256 * _kb, Pattern: PatternMixed},
+	{Name: "mcf", MPKI: 50.5, StoreFrac: 0.20, DependentFrac: 0.6, Footprint: 1536 * _mb, HotFrac: 0.25, HotBytes: 256 * _kb, Pattern: PatternChase},
+	{Name: "omnetpp", MPKI: 21, StoreFrac: 0.30, DependentFrac: 0.5, Footprint: 1 * _gb, HotFrac: 0.30, HotBytes: 256 * _kb, Pattern: PatternChase},
+	{Name: "xalancbmk", MPKI: 2.5, StoreFrac: 0.20, DependentFrac: 0.4, Footprint: 512 * _mb, HotFrac: 0.88, HotBytes: 384 * _kb, Pattern: PatternChase},
+	{Name: "x264", MPKI: 1.0, StoreFrac: 0.30, Footprint: 512 * _mb, HotFrac: 0.85, HotBytes: 384 * _kb, Pattern: PatternStream},
+	{Name: "deepsjeng", MPKI: 0.7, StoreFrac: 0.20, Footprint: 1 * _gb, HotFrac: 0.90, HotBytes: 384 * _kb, Pattern: PatternRandom},
+	{Name: "leela", MPKI: 0.5, StoreFrac: 0.15, Footprint: 256 * _mb, HotFrac: 0.92, HotBytes: 256 * _kb, Pattern: PatternRandom},
+	{Name: "exchange2", MPKI: 0.05, StoreFrac: 0.10, Footprint: 64 * _mb, HotFrac: 0.99, HotBytes: 128 * _kb, Pattern: PatternMixed},
+	{Name: "xz", MPKI: 12, StoreFrac: 0.25, Footprint: 768 * _mb, HotFrac: 0.45, HotBytes: 384 * _kb, Pattern: PatternRandom},
+	{Name: "bwaves", MPKI: 26, StoreFrac: 0.15, Footprint: 1536 * _mb, HotFrac: 0.10, HotBytes: 256 * _kb, Pattern: PatternStream},
+	{Name: "cactuBSSN", MPKI: 12, StoreFrac: 0.30, Footprint: 1536 * _mb, HotFrac: 0.45, HotBytes: 384 * _kb, Pattern: PatternStrided},
+	{Name: "namd", MPKI: 1.1, StoreFrac: 0.20, Footprint: 512 * _mb, HotFrac: 0.85, HotBytes: 256 * _kb, Pattern: PatternStrided},
+	{Name: "parest", MPKI: 2.0, StoreFrac: 0.25, Footprint: 1 * _gb, HotFrac: 0.80, HotBytes: 384 * _kb, Pattern: PatternMixed},
+	{Name: "povray", MPKI: 0.1, StoreFrac: 0.20, Footprint: 128 * _mb, HotFrac: 0.98, HotBytes: 128 * _kb, Pattern: PatternMixed},
+	{Name: "lbm", MPKI: 40, StoreFrac: 0.45, Footprint: 1536 * _mb, HotFrac: 0.05, HotBytes: 128 * _kb, Pattern: PatternStream},
+	{Name: "wrf", MPKI: 8, StoreFrac: 0.30, Footprint: 1536 * _mb, HotFrac: 0.50, HotBytes: 384 * _kb, Pattern: PatternStream},
+	{Name: "blender", MPKI: 1.5, StoreFrac: 0.25, Footprint: 1 * _gb, HotFrac: 0.85, HotBytes: 384 * _kb, Pattern: PatternMixed},
+	{Name: "cam4", MPKI: 3.2, StoreFrac: 0.30, Footprint: 1 * _gb, HotFrac: 0.70, HotBytes: 384 * _kb, Pattern: PatternStrided},
+	{Name: "imagick", MPKI: 0.6, StoreFrac: 0.20, Footprint: 512 * _mb, HotFrac: 0.90, HotBytes: 256 * _kb, Pattern: PatternStream},
+	{Name: "nab", MPKI: 1.0, StoreFrac: 0.20, Footprint: 512 * _mb, HotFrac: 0.88, HotBytes: 256 * _kb, Pattern: PatternRandom},
+	{Name: "fotonik3d", MPKI: 25, StoreFrac: 0.30, Footprint: 1536 * _mb, HotFrac: 0.10, HotBytes: 256 * _kb, Pattern: PatternStream},
+	{Name: "roms", MPKI: 15, StoreFrac: 0.35, Footprint: 1536 * _mb, HotFrac: 0.20, HotBytes: 256 * _kb, Pattern: PatternStream},
+	{Name: "bfs", MPKI: 28, StoreFrac: 0.20, DependentFrac: 0.3, Footprint: 1536 * _mb, HotFrac: 0.55, HotBytes: 384 * _kb, Pattern: PatternGraph},
+	{Name: "pr", MPKI: 45, StoreFrac: 0.15, DependentFrac: 0.2, Footprint: 1536 * _mb, HotFrac: 0.12, HotBytes: 256 * _kb, Pattern: PatternGraph},
+	{Name: "tc", MPKI: 18, StoreFrac: 0.10, DependentFrac: 0.2, Footprint: 1536 * _mb, HotFrac: 0.60, HotBytes: 384 * _kb, Pattern: PatternGraph},
+	{Name: "cc", MPKI: 35, StoreFrac: 0.15, DependentFrac: 0.25, Footprint: 1536 * _mb, HotFrac: 0.25, HotBytes: 256 * _kb, Pattern: PatternGraph},
+	{Name: "bc", MPKI: 56.7, StoreFrac: 0.15, DependentFrac: 0.3, Footprint: 1536 * _mb, HotFrac: 0.15, HotBytes: 256 * _kb, Pattern: PatternGraph},
+	{Name: "sssp", MPKI: 90, StoreFrac: 0.15, DependentFrac: 0.35, Footprint: 1536 * _mb, HotFrac: 0.10, HotBytes: 256 * _kb, Pattern: PatternGraph},
+}
+
+// Profiles returns the 29 benchmark profiles in figure order. The slice is
+// a copy; callers may mutate it.
+func Profiles() []Profile {
+	out := make([]Profile, len(_profiles))
+	copy(out, _profiles)
+	return out
+}
+
+// ByName looks a profile up by benchmark name.
+func ByName(name string) (Profile, bool) {
+	for _, p := range _profiles {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Names returns all benchmark names in figure order.
+func Names() []string {
+	out := make([]string, len(_profiles))
+	for i, p := range _profiles {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// MemIntensiveNames returns the paper's memory-intensive subset.
+func MemIntensiveNames() []string {
+	var out []string
+	for _, p := range _profiles {
+		if p.MemIntensive() {
+			out = append(out, p.Name)
+		}
+	}
+	return out
+}

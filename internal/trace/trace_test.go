@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"testing"
+
+	"secddr/internal/cpu"
+)
+
+func TestProfileTableComplete(t *testing.T) {
+	// All 29 workloads of Fig. 6, in figure order.
+	want := []string{
+		"perlbench", "gcc", "mcf", "omnetpp", "xalancbmk", "x264",
+		"deepsjeng", "leela", "exchange2", "xz", "bwaves", "cactuBSSN",
+		"namd", "parest", "povray", "lbm", "wrf", "blender", "cam4",
+		"imagick", "nab", "fotonik3d", "roms", "bfs", "pr", "tc", "cc",
+		"bc", "sssp",
+	}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("profile count = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("profile %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMemIntensiveSubset(t *testing.T) {
+	// Paper: MPKI >= 10. Spot-check members and non-members.
+	intensive := map[string]bool{}
+	for _, n := range MemIntensiveNames() {
+		intensive[n] = true
+	}
+	for _, n := range []string{"mcf", "lbm", "pr", "bc", "sssp", "omnetpp", "xz", "bwaves"} {
+		if !intensive[n] {
+			t.Errorf("%s not classified memory-intensive", n)
+		}
+	}
+	for _, n := range []string{"perlbench", "povray", "exchange2", "leela"} {
+		if intensive[n] {
+			t.Errorf("%s wrongly classified memory-intensive", n)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, ok := ByName("lbm")
+	if !ok || p.Name != "lbm" {
+		t.Fatal("ByName(lbm) failed")
+	}
+	if p.StoreFrac < 0.4 {
+		t.Error("lbm should be write-intensive (paper: penalized by eWCRC)")
+	}
+	if _, ok := ByName("doom"); ok {
+		t.Error("ByName accepted unknown benchmark")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	p, _ := ByName("mcf")
+	g1, err := NewGenerator(p, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := NewGenerator(p, 0, 42)
+	for i := 0; i < 1000; i++ {
+		a, _ := g1.Next()
+		b, _ := g2.Next()
+		if a != b {
+			t.Fatalf("op %d diverged: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestGeneratorSeedsDiffer(t *testing.T) {
+	p, _ := ByName("mcf")
+	g1, _ := NewGenerator(p, 0, 1)
+	g2, _ := NewGenerator(p, 0, 2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		a, _ := g1.Next()
+		b, _ := g2.Next()
+		if a.Addr == b.Addr {
+			same++
+		}
+	}
+	if same > 50 {
+		t.Errorf("different seeds produced %d/100 identical addresses", same)
+	}
+}
+
+func TestAddressesWithinFootprint(t *testing.T) {
+	for _, p := range Profiles() {
+		base := uint64(2) << 30
+		g, err := NewGenerator(p, base, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		for i := 0; i < 2000; i++ {
+			op, _ := g.Next()
+			if op.Addr < base || op.Addr >= base+p.Footprint {
+				t.Fatalf("%s: address %#x outside [%#x, %#x)", p.Name, op.Addr, base, base+p.Footprint)
+			}
+		}
+	}
+}
+
+func TestStoreFractionApproximated(t *testing.T) {
+	p, _ := ByName("lbm")
+	g, _ := NewGenerator(p, 0, 3)
+	stores := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		op, _ := g.Next()
+		if op.Store {
+			stores++
+		}
+	}
+	frac := float64(stores) / n
+	if frac < p.StoreFrac-0.05 || frac > p.StoreFrac+0.05 {
+		t.Errorf("store fraction = %.3f, want ~%.2f", frac, p.StoreFrac)
+	}
+}
+
+func TestGapMatchesIntensity(t *testing.T) {
+	// High-MPKI workloads must emit ops far more often than low-MPKI ones.
+	hi, _ := ByName("sssp")
+	lo, _ := ByName("povray")
+	gh, _ := NewGenerator(hi, 0, 1)
+	gl, _ := NewGenerator(lo, 0, 1)
+	sum := func(g *Generator) int {
+		total := 0
+		for i := 0; i < 2000; i++ {
+			op, _ := g.Next()
+			total += op.Gap + 1
+		}
+		return total
+	}
+	ih, il := sum(gh), sum(gl)
+	if il < 20*ih {
+		t.Errorf("instructions for 2000 ops: sssp=%d povray=%d; intensity not differentiated", ih, il)
+	}
+}
+
+func TestDependentLoadsOnlyOnLoads(t *testing.T) {
+	p, _ := ByName("mcf")
+	g, _ := NewGenerator(p, 0, 5)
+	deps := 0
+	for i := 0; i < 5000; i++ {
+		op, _ := g.Next()
+		if op.DependsPrev {
+			deps++
+			if op.Store {
+				t.Fatal("store marked DependsPrev")
+			}
+		}
+	}
+	if deps == 0 {
+		t.Error("chase profile produced no dependent loads")
+	}
+}
+
+func TestHotColdLocalitySplit(t *testing.T) {
+	p, _ := ByName("perlbench") // HotFrac 0.95
+	g, _ := NewGenerator(p, 0, 11)
+	// Count distinct pages: with 95% hot accesses into 2MB the distinct
+	// page count for 10k accesses must be small relative to random.
+	pages := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		op, _ := g.Next()
+		pages[op.Addr/4096] = true
+	}
+	if len(pages) > 3000 {
+		t.Errorf("perlbench touched %d pages in 10k accesses; locality too low", len(pages))
+	}
+}
+
+func TestPagePermutationFragmentsStreams(t *testing.T) {
+	p, _ := ByName("lbm")
+	g, _ := NewGenerator(p, 0, 13)
+	// Consecutive cold stream accesses within a page are sequential, but
+	// crossing pages must jump (random page mapping). Detect at least one
+	// large jump among consecutive ops.
+	var prev uint64
+	bigJumps := 0
+	for i := 0; i < 5000; i++ {
+		op, _ := g.Next()
+		if i > 0 {
+			d := int64(op.Addr) - int64(prev)
+			if d < 0 {
+				d = -d
+			}
+			if d > 1<<20 {
+				bigJumps++
+			}
+		}
+		prev = op.Addr
+	}
+	if bigJumps == 0 {
+		t.Error("no page-boundary jumps; random page mapping not applied")
+	}
+}
+
+func TestGeneratorIsOpSource(t *testing.T) {
+	var _ cpu.OpSource = (*Generator)(nil)
+}
+
+func TestGeneratorRejectsBadProfiles(t *testing.T) {
+	bad := Profile{Name: "tiny", Footprint: 100, HotBytes: 4096}
+	if _, err := NewGenerator(bad, 0, 1); err == nil {
+		t.Error("accepted sub-page footprint")
+	}
+	bad2 := Profile{Name: "inverted", Footprint: 4096, HotBytes: 8192}
+	if _, err := NewGenerator(bad2, 0, 1); err == nil {
+		t.Error("accepted hot set larger than footprint")
+	}
+}

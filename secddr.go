@@ -1,0 +1,150 @@
+// Package secddr is a from-scratch Go reproduction of "SecDDR: Enabling
+// Low-Cost Secure Memories by Protecting the DDR Interface" (DSN 2023).
+//
+// SecDDR provides replay-attack protection for direct-attached DDRx
+// memories without integrity trees: per-line MACs ride the ECC pins, are
+// encrypted on the bus with one-time pads derived from synchronized
+// per-rank transaction counters (E-MACs), and writes carry an encrypted
+// extended write CRC that lets the DRAM device reject misdirected writes.
+//
+// The module contains three independently usable layers, re-exported here:
+//
+//   - The functional protocol (NewSystem): a bit-accurate SecDDR memory
+//     with real AES-CMAC MACs, counter-derived pads, eWCRC, SECDED, an
+//     attacker-accessible channel, and the attestation handshake.
+//   - The performance model (RunSim): a cycle-level DDR4-3200 simulator
+//     (Ramulator-style timing, FR-FCFS controller, caches, OoO cores) with
+//     every protection mode the paper evaluates.
+//   - The experiment harness (Fig6 .. Fig12, Table2): regenerates each
+//     table and figure of the paper's evaluation.
+//
+// See examples/ for runnable entry points and DESIGN.md for the system
+// inventory.
+package secddr
+
+import (
+	"secddr/internal/analysis"
+	"secddr/internal/config"
+	"secddr/internal/core"
+	"secddr/internal/experiments"
+	"secddr/internal/protocol"
+	"secddr/internal/sim"
+	"secddr/internal/trace"
+)
+
+// --- Functional protocol --------------------------------------------------
+
+// Protocol modes for the functional model.
+const (
+	// ProtocolMACOnly is the TDX-like baseline (no replay protection).
+	ProtocolMACOnly = core.ModeMACOnly
+	// ProtocolSecDDRNoEWCRC enables E-MACs only.
+	ProtocolSecDDRNoEWCRC = core.ModeSecDDRNoEWCRC
+	// ProtocolSecDDR is the full design: E-MACs plus encrypted eWCRC.
+	ProtocolSecDDR = core.ModeSecDDR
+)
+
+// System is a runnable bit-accurate SecDDR memory system.
+type System = protocol.System
+
+// Geometry describes the functional model's DIMM organization.
+type Geometry = protocol.Geometry
+
+// Keys are the secrets shared by processor and ECC chip.
+type Keys = core.Keys
+
+// ErrIntegrityViolation is returned when a read fails MAC verification.
+var ErrIntegrityViolation = core.ErrIntegrityViolation
+
+// ErrEWCRCMismatch is returned when the device rejects a corrupted write.
+var ErrEWCRCMismatch = core.ErrEWCRCMismatch
+
+// NewSystem builds a functional SecDDR memory system.
+func NewSystem(mode core.Mode, geom Geometry, keys Keys, initialCt uint64) (*System, error) {
+	return protocol.NewSystem(mode, geom, keys, initialCt)
+}
+
+// DefaultGeometry returns a two-rank functional-model organization.
+func DefaultGeometry() Geometry { return protocol.DefaultGeometry() }
+
+// TestKeys returns fixed keys for demos; production uses attestation.
+func TestKeys() Keys { return protocol.TestKeys() }
+
+// --- Performance model ----------------------------------------------------
+
+// Mode identifies a performance-model protection configuration.
+type Mode = config.Mode
+
+// The evaluated configurations (Section IV-B of the paper).
+const (
+	ModeIntegrityTree  = config.ModeIntegrityTree
+	ModeSecDDRCTR      = config.ModeSecDDRCTR
+	ModeEncryptOnlyCTR = config.ModeEncryptOnlyCTR
+	ModeSecDDRXTS      = config.ModeSecDDRXTS
+	ModeEncryptOnlyXTS = config.ModeEncryptOnlyXTS
+	ModeInvisiMem      = config.ModeInvisiMem
+	ModeUnprotected    = config.ModeUnprotected
+)
+
+// Config is a full simulation configuration.
+type Config = config.Config
+
+// Table1 returns the paper's Table I configuration for a mode.
+func Table1(mode Mode) Config { return config.Table1(mode) }
+
+// SimOptions configures one simulation run.
+type SimOptions = sim.Options
+
+// SimResult carries a run's metrics.
+type SimResult = sim.Result
+
+// RunSim executes one performance simulation.
+func RunSim(opt SimOptions) (SimResult, error) { return sim.Run(opt) }
+
+// Workload is a synthetic benchmark profile.
+type Workload = trace.Profile
+
+// Workloads returns the 29 benchmark profiles of the paper's figures.
+func Workloads() []Workload { return trace.Profiles() }
+
+// WorkloadByName looks up one profile.
+func WorkloadByName(name string) (Workload, bool) { return trace.ByName(name) }
+
+// --- Experiment harness ---------------------------------------------------
+
+// Scale controls experiment length.
+type Scale = experiments.Scale
+
+// FigureResult is a reproduced figure.
+type FigureResult = experiments.FigureResult
+
+// DefaultScale returns figure-quality settings; QuickScale smoke settings.
+func DefaultScale() Scale { return experiments.DefaultScale() }
+
+// QuickScale returns smoke-test experiment settings.
+func QuickScale() Scale { return experiments.QuickScale() }
+
+// Fig6 reproduces the overall performance figure.
+func Fig6(s Scale) (FigureResult, error) { return experiments.Fig6(s) }
+
+// Fig7 reproduces the metadata-cache behaviour figure.
+func Fig7(s Scale) ([]experiments.Fig7Row, error) { return experiments.Fig7(s) }
+
+// Fig8 reproduces the tree-arity/counter-packing sensitivity figure.
+func Fig8(s Scale) ([]experiments.Fig8Bar, error) { return experiments.Fig8(s) }
+
+// Fig10 reproduces the InvisiMem comparison (AES-XTS).
+func Fig10(s Scale) (FigureResult, error) { return experiments.Fig10(s) }
+
+// Fig12 reproduces the InvisiMem comparison (counter mode).
+func Fig12(s Scale) (FigureResult, error) { return experiments.Fig12(s) }
+
+// Table2 evaluates the AES power model for the paper's DDR4 configurations.
+func Table2() []analysis.PowerResult {
+	unit := analysis.ReferenceAESUnit()
+	var out []analysis.PowerResult
+	for _, chip := range analysis.Table2Configs() {
+		out = append(out, analysis.AESPower(chip, unit))
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package secddr_test
+
+import (
+	"testing"
+
+	"secddr"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	sys, err := secddr.NewSystem(secddr.ProtocolSecDDR, secddr.DefaultGeometry(), secddr.TestKeys(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var line [64]byte
+	copy(line[:], "public api round trip")
+	if err := sys.Write(0x1000, line); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sys.Read(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != line {
+		t.Error("round trip corrupted")
+	}
+}
+
+func TestPublicAPISimulation(t *testing.T) {
+	wl, ok := secddr.WorkloadByName("gcc")
+	if !ok {
+		t.Fatal("gcc workload missing")
+	}
+	res, err := secddr.RunSim(secddr.SimOptions{
+		Config:       secddr.Table1(secddr.ModeSecDDRXTS),
+		Workload:     wl,
+		InstrPerCore: 50_000,
+		WarmupInstr:  20_000,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 {
+		t.Errorf("IPC = %v", res.IPC)
+	}
+}
+
+func TestPublicAPIWorkloadsComplete(t *testing.T) {
+	if got := len(secddr.Workloads()); got != 29 {
+		t.Errorf("workload count = %d, want 29", got)
+	}
+}
+
+func TestPublicAPITable2(t *testing.T) {
+	rows := secddr.Table2()
+	if len(rows) != 2 {
+		t.Fatalf("Table2 rows = %d", len(rows))
+	}
+	if rows[0].UnitsPerChip != 2 || rows[1].UnitsPerChip != 3 {
+		t.Errorf("AES unit counts = %d/%d, want 2/3", rows[0].UnitsPerChip, rows[1].UnitsPerChip)
+	}
+}
+
+func TestPublicAPIFig6Subset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	scale := secddr.QuickScale()
+	scale.Workloads = []string{"mcf", "lbm"}
+	fig, err := secddr.Fig6(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 5 {
+		t.Errorf("Fig6 series = %d, want 5", len(fig.Series))
+	}
+	_, all := fig.GeoMeans("tree-64ary")
+	if all <= 0 || all >= 1.05 {
+		t.Errorf("tree gmean = %.3f, want below baseline", all)
+	}
+}
