@@ -10,6 +10,7 @@
 //	BenchmarkFig10_InvisiMemXTS  — authenticated-channel comparison (XTS)
 //	BenchmarkFig12_InvisiMemCNT  — same with counter-mode encryption
 //	BenchmarkTable1_Simulation   — raw simulator throughput on Table I
+//	BenchmarkSweepCached         — harness checkpoint cache-hit path
 //	BenchmarkTable2_Power        — analytical power model
 //	BenchmarkSecIIIB_EWCRC       — brute-force security analysis
 //	BenchmarkProtocol*           — functional-model wire-protocol speed
@@ -18,14 +19,18 @@ package secddr_test
 
 import (
 	"crypto/rand"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"secddr"
 	"secddr/internal/analysis"
 	"secddr/internal/attest"
+	"secddr/internal/config"
 	"secddr/internal/experiments"
+	"secddr/internal/harness"
 	"secddr/internal/sim"
+	"secddr/internal/trace"
 )
 
 // benchScale keeps figure benches to a few seconds: a representative
@@ -125,6 +130,44 @@ func BenchmarkTable1_Simulation(b *testing.B) {
 		}
 		b.ReportMetric(res.IPC, "sim-IPC")
 	}
+}
+
+// BenchmarkSweepCached measures the harness cache-hit path: a Fig. 6-shaped
+// campaign served entirely from a warm checkpoint, i.e. the fixed overhead a
+// resumed sweep pays per already-computed point.
+func BenchmarkSweepCached(b *testing.B) {
+	mustProfile := func(name string) trace.Profile {
+		p, ok := trace.ByName(name)
+		if !ok {
+			b.Fatalf("workload %q missing", name)
+		}
+		return p
+	}
+	grid := harness.Grid{
+		Workloads: []trace.Profile{mustProfile("mcf"), mustProfile("lbm"), mustProfile("pr")},
+		Configs: append([]harness.NamedConfig{
+			{Label: "tdx-baseline", Config: config.Table1(config.ModeEncryptOnlyCTR)},
+		}, experiments.Fig6Configs()...),
+		InstrPerCore: 20_000,
+		WarmupInstr:  5_000,
+		Seed:         42,
+	}
+	ckpt := filepath.Join(b.TempDir(), "bench.ckpt.json")
+	c := harness.Campaign{Jobs: grid.Jobs(), Checkpoint: ckpt}
+	if _, _, err := harness.Run(c); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats, err := harness.Run(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Executed != 0 {
+			b.Fatalf("warm checkpoint missed: %+v", stats)
+		}
+	}
+	b.ReportMetric(float64(len(c.Jobs)), "points/op")
 }
 
 func BenchmarkTable2_Power(b *testing.B) {

@@ -2,7 +2,8 @@
 // bit-accurate protocol model in all three protection modes and prints the
 // detection matrix: which attacks each design catches, where detection
 // happens (device write rejection vs processor read verification), and
-// which stale values an attacker gets accepted.
+// which stale values an attacker gets accepted. The scenario inventory is
+// documented in DESIGN.md, "Attack suite".
 package main
 
 import (

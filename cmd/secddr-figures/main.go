@@ -3,11 +3,16 @@
 // (arity/packing sensitivity), Fig. 10 (InvisiMem, AES-XTS), and Fig. 12
 // (InvisiMem, counter mode).
 //
+// Figures run on the internal/harness campaign runner; pass -checkpoint to
+// cache simulation points on disk so re-runs (and overlapping figures,
+// which share the TDX baseline points) skip work already done.
+//
 // Usage:
 //
 //	secddr-figures -fig 6                  # full 29-workload run
 //	secddr-figures -fig all -quick         # smoke-scale everything
 //	secddr-figures -fig 10 -workloads mcf,lbm,pr
+//	secddr-figures -fig all -checkpoint figs.ckpt.json   # resumable
 package main
 
 import (
@@ -28,12 +33,13 @@ func main() {
 
 func run() error {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 10, 12, or all")
-		quick     = flag.Bool("quick", false, "smoke scale (fast, noisier)")
-		instr     = flag.Uint64("instr", 0, "override measured instructions per core")
-		warmup    = flag.Uint64("warmup", 0, "override warmup instructions per core")
-		workloads = flag.String("workloads", "", "comma-separated workload subset")
-		workers   = flag.Int("workers", 0, "parallel simulations (default NumCPU-1)")
+		fig        = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 10, 12, or all")
+		quick      = flag.Bool("quick", false, "smoke scale (fast, noisier)")
+		instr      = flag.Uint64("instr", 0, "override measured instructions per core")
+		warmup     = flag.Uint64("warmup", 0, "override warmup instructions per core")
+		workloads  = flag.String("workloads", "", "comma-separated workload subset")
+		workers    = flag.Int("workers", 0, "parallel simulations (default NumCPU-1)")
+		checkpoint = flag.String("checkpoint", "", "resumable result cache shared across figures (see secddr-sweep)")
 	)
 	flag.Parse()
 
@@ -51,6 +57,7 @@ func run() error {
 		scale.Workloads = strings.Split(*workloads, ",")
 	}
 	scale.Workers = *workers
+	scale.Checkpoint = *checkpoint
 
 	want := func(f string) bool { return *fig == "all" || *fig == f }
 

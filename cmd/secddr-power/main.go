@@ -1,7 +1,8 @@
 // Command secddr-power prints the analytical results of the paper:
 // Table II (AES-engine power overhead on the ECC chips, including the
 // DDR5 extrapolation), the on-die area estimate, and the Section III-B
-// encrypted-eWCRC brute-force security analysis.
+// encrypted-eWCRC brute-force security analysis. These models are
+// closed-form (no simulation); see DESIGN.md, "Analytical models".
 package main
 
 import (

@@ -5,11 +5,16 @@
 // Usage:
 //
 //	secddr-sim -workload mcf -mode secddr+xts -instr 1000000
+//	secddr-sim -workload lbm -json    # machine-readable result
 //	secddr-sim -list                  # available workloads and modes
 //	secddr-sim -print-config          # dump the Table I configuration
+//
+// For multi-point grids (many workloads x many modes) use secddr-sweep,
+// which runs this same simulator on a parallel, cached campaign harness.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +41,7 @@ func run() error {
 		realistic   = flag.Bool("invisimem-realistic", false, "derate InvisiMem to 2400MT/s")
 		list        = flag.Bool("list", false, "list workloads and modes")
 		printConfig = flag.Bool("print-config", false, "print the Table I configuration")
+		jsonOut     = flag.Bool("json", false, "print the result as JSON instead of the text report")
 	)
 	flag.Parse()
 
@@ -83,6 +89,12 @@ func run() error {
 	})
 	if err != nil {
 		return err
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
 	}
 
 	fmt.Printf("workload          %s\n", res.Workload)

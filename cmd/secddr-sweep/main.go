@@ -1,0 +1,159 @@
+// Command secddr-sweep runs user-defined simulation campaigns — arbitrary
+// workload x mode grids, not just the paper's fixed figures — on the
+// parallel harness, with machine-readable output and resumable caching.
+//
+// Points are cached in a JSON checkpoint keyed by a digest of the full
+// simulation options, so re-running a sweep (or widening its grid) only
+// executes the points that are new; an interrupted sweep resumes where it
+// stopped. Pass -checkpoint "" to disable caching.
+//
+// Usage:
+//
+//	secddr-sweep -quick                              # Fig. 6 grid, all 29 workloads
+//	secddr-sweep -modes secddr+ctr,integrity-tree -workloads mcf,lbm,pr \
+//	    -out results.json -csv results.csv
+//	secddr-sweep -modes all -instr 500000 -warmup 200000 -seed 7 -seed-per-job
+//
+// See README.md for more examples and DESIGN.md for the harness design.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"secddr/internal/config"
+	"secddr/internal/experiments"
+	"secddr/internal/harness"
+	"secddr/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "secddr-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		modes      = flag.String("modes", "fig6", `comma-separated protection modes (see secddr-sim -list), "all", or "fig6" (the paper's five Fig. 6 configurations)`)
+		workloads  = flag.String("workloads", "all", `comma-separated workload subset, or "all"`)
+		quick      = flag.Bool("quick", false, "smoke scale (fast, noisier)")
+		instr      = flag.Uint64("instr", 0, "override measured instructions per core")
+		warmup     = flag.Uint64("warmup", 0, "override warmup instructions per core")
+		seed       = flag.Uint64("seed", 42, "base workload seed")
+		seedPerJob = flag.Bool("seed-per-job", false, "derive a distinct deterministic seed per grid point")
+		workers    = flag.Int("workers", 0, "parallel simulations (default GOMAXPROCS)")
+		checkpoint = flag.String("checkpoint", "secddr-sweep.ckpt.json", `resumable result cache (empty string disables)`)
+		out        = flag.String("out", "", "write results as JSON to this file (- for stdout)")
+		csvOut     = flag.String("csv", "", "write results as CSV to this file (- for stdout)")
+	)
+	flag.Parse()
+
+	scale := experiments.DefaultScale()
+	if *quick {
+		scale = experiments.QuickScale()
+	}
+	if *instr > 0 {
+		scale.InstrPerCore = *instr
+	}
+	if *warmup > 0 {
+		scale.WarmupInstr = *warmup
+	}
+
+	configs, err := parseModes(*modes)
+	if err != nil {
+		return err
+	}
+	profiles, err := parseWorkloads(*workloads)
+	if err != nil {
+		return err
+	}
+
+	grid := harness.Grid{
+		Workloads:    profiles,
+		Configs:      configs,
+		InstrPerCore: scale.InstrPerCore,
+		WarmupInstr:  scale.WarmupInstr,
+		Seed:         *seed,
+		SeedPerJob:   *seedPerJob,
+	}
+	outs, stats, err := harness.Run(harness.Campaign{
+		Jobs:       grid.Jobs(),
+		Workers:    *workers,
+		Checkpoint: *checkpoint,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "secddr-sweep: %d points: %d executed, %d cached, %d deduped\n",
+		stats.Total, stats.Executed, stats.Cached, stats.Deduped)
+
+	if *out == "" && *csvOut == "" {
+		*out = "-" // no sink requested: JSON to stdout
+	}
+	if err := emit(*out, func(f *os.File) error { return harness.WriteJSON(f, outs, stats) }); err != nil {
+		return err
+	}
+	return emit(*csvOut, func(f *os.File) error { return harness.WriteCSV(f, outs) })
+}
+
+// emit writes through fn to path ("-" = stdout, "" = skip).
+func emit(path string, fn func(*os.File) error) error {
+	switch path {
+	case "":
+		return nil
+	case "-":
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// parseModes expands the -modes flag into labelled configurations.
+func parseModes(s string) ([]harness.NamedConfig, error) {
+	switch s {
+	case "fig6":
+		return experiments.Fig6Configs(), nil
+	case "all":
+		var out []harness.NamedConfig
+		for m := config.ModeIntegrityTree; m <= config.ModeUnprotected; m++ {
+			out = append(out, harness.NamedConfig{Label: m.String(), Config: config.Table1(m)})
+		}
+		return out, nil
+	}
+	var out []harness.NamedConfig
+	for _, name := range strings.Split(s, ",") {
+		m, err := config.ParseMode(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, harness.NamedConfig{Label: m.String(), Config: config.Table1(m)})
+	}
+	return out, nil
+}
+
+// parseWorkloads expands the -workloads flag into profiles.
+func parseWorkloads(s string) ([]trace.Profile, error) {
+	if s == "all" {
+		return trace.Profiles(), nil
+	}
+	var out []trace.Profile
+	for _, name := range strings.Split(s, ",") {
+		p, ok := trace.ByName(strings.TrimSpace(name))
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q (see secddr-sim -list)", name)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,5 +1,6 @@
 // Quickstart: build a bit-accurate SecDDR memory system, write and read
-// protected cache lines, and watch tampering get caught.
+// protected cache lines, and watch tampering get caught. README.md lists
+// the other entry points; DESIGN.md maps the layers this builds on.
 package main
 
 import (

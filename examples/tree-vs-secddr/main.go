@@ -1,7 +1,8 @@
 // Tree vs SecDDR: run the cycle-level performance model on a random-access
 // graph workload (pagerank) under the 64-ary integrity-tree baseline,
 // SecDDR+XTS, and the encrypt-only upper bound — the core performance claim
-// of the paper in one program.
+// of the paper in one program. For full workload x mode grids with caching
+// and machine-readable output, use cmd/secddr-sweep.
 package main
 
 import (

@@ -1,0 +1,3 @@
+module secddr
+
+go 1.24

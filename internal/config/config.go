@@ -5,6 +5,7 @@
 package config
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 )
@@ -65,6 +66,29 @@ func ParseMode(s string) (Mode, error) {
 		}
 	}
 	return 0, fmt.Errorf("config: unknown mode %q", s)
+}
+
+// MarshalJSON encodes the mode by its canonical name, so machine-readable
+// results don't expose the internal enum ordering.
+func (m Mode) MarshalJSON() ([]byte, error) {
+	if _, ok := _modeNames[m]; !ok {
+		return nil, fmt.Errorf("config: cannot encode unknown mode %d", int(m))
+	}
+	return json.Marshal(m.String())
+}
+
+// UnmarshalJSON decodes a canonical mode name.
+func (m *Mode) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	v, err := ParseMode(s)
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
 }
 
 // EncryptionKind selects the data-confidentiality scheme.

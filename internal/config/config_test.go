@@ -1,6 +1,7 @@
 package config
 
 import (
+	"encoding/json"
 	"testing"
 	"testing/quick"
 )
@@ -207,5 +208,28 @@ func TestDDR5RelativeBurstStretchSmaller(t *testing.T) {
 	s5 := float64(d5.WriteBurstBeats) / float64(d5.ReadBurstBeats)
 	if s5 >= s4 {
 		t.Errorf("DDR5 burst stretch %.3f not smaller than DDR4 %.3f", s5, s4)
+	}
+}
+
+func TestModeJSONRoundTrip(t *testing.T) {
+	for m := ModeIntegrityTree; m <= ModeUnprotected; m++ {
+		raw, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if string(raw) != `"`+m.String()+`"` {
+			t.Errorf("%v marshals to %s, want canonical name", m, raw)
+		}
+		var back Mode
+		if err := json.Unmarshal(raw, &back); err != nil || back != m {
+			t.Errorf("%v round-trips to %v (%v)", m, back, err)
+		}
+	}
+	if _, err := json.Marshal(Mode(99)); err == nil {
+		t.Error("unknown mode marshalled without error")
+	}
+	var m Mode
+	if err := json.Unmarshal([]byte(`3`), &m); err == nil {
+		t.Error("numeric mode accepted")
 	}
 }

@@ -32,15 +32,8 @@ func gmeanNormalized(scale Scale, cfgs []namedConfig) (map[string]float64, error
 	if err != nil {
 		return nil, err
 	}
-	base := tdxBaseline()
-	var jobs []job
-	for _, p := range profiles {
-		jobs = append(jobs, job{workload: p, cfg: base.cfg, key: p.Name + "/base"})
-		for _, nc := range cfgs {
-			jobs = append(jobs, job{workload: p, cfg: nc.cfg, key: p.Name + "/" + nc.label})
-		}
-	}
-	results, err := runAll(scale, jobs)
+	grid := append([]namedConfig{{Label: "base", Config: tdxBaseline().Config}}, cfgs...)
+	results, err := scale.runGrid(profiles, grid)
 	if err != nil {
 		return nil, err
 	}
@@ -49,14 +42,14 @@ func gmeanNormalized(scale Scale, cfgs []namedConfig) (map[string]float64, error
 		prod, n := 1.0, 0
 		for _, p := range profiles {
 			b := results[p.Name+"/base"].IPC
-			v := results[p.Name+"/"+nc.label].IPC
+			v := results[p.Name+"/"+nc.Label].IPC
 			if b > 0 && v > 0 {
 				prod *= v / b
 				n++
 			}
 		}
 		if n > 0 {
-			out[nc.label] = math.Pow(prod, 1/float64(n))
+			out[nc.Label] = math.Pow(prod, 1/float64(n))
 		}
 	}
 	return out, nil
@@ -87,8 +80,8 @@ func AblationFootprintScaling(scale Scale) ([]AblationRow, error) {
 		fp.footprintOverride = mb << 20
 
 		vals, err := gmeanNormalized(fp, []namedConfig{
-			{"tree-64ary", config.Table1(config.ModeIntegrityTree)},
-			{"secddr+ctr", config.Table1(config.ModeSecDDRCTR)},
+			{Label: "tree-64ary", Config: config.Table1(config.ModeIntegrityTree)},
+			{Label: "secddr+ctr", Config: config.Table1(config.ModeSecDDRCTR)},
 		})
 		if err != nil {
 			return nil, err
@@ -110,8 +103,8 @@ func AblationEWCRC(scale Scale) ([]AblationRow, error) {
 	without.Security.EWCRC = false
 	without.Normalize()
 	vals, err := gmeanNormalized(scale, []namedConfig{
-		{"with-ewcrc", with},
-		{"no-ewcrc", without},
+		{Label: "with-ewcrc", Config: with},
+		{Label: "no-ewcrc", Config: without},
 	})
 	if err != nil {
 		return nil, err
@@ -131,7 +124,7 @@ func AblationMetadataCache(scale Scale) ([]AblationRow, error) {
 		c := config.Table1(config.ModeIntegrityTree)
 		c.Security.MetadataCache.SizeBytes = kb << 10
 		c.Normalize()
-		cfgs = append(cfgs, namedConfig{fmt.Sprintf("%dKB", kb), c})
+		cfgs = append(cfgs, namedConfig{Label: fmt.Sprintf("%dKB", kb), Config: c})
 	}
 	vals, err := gmeanNormalized(scale, cfgs)
 	if err != nil {
@@ -139,7 +132,7 @@ func AblationMetadataCache(scale Scale) ([]AblationRow, error) {
 	}
 	var rows []AblationRow
 	for _, nc := range cfgs {
-		rows = append(rows, AblationRow{nc.label, "tree-64ary", vals[nc.label]})
+		rows = append(rows, AblationRow{nc.Label, "tree-64ary", vals[nc.Label]})
 	}
 	return rows, nil
 }
@@ -155,8 +148,8 @@ func AblationCryptoLatency(scale Scale) ([]AblationRow, error) {
 		xts := config.Table1(config.ModeSecDDRXTS)
 		xts.Security.CryptoLatency = cyc
 		cfgs = append(cfgs,
-			namedConfig{fmt.Sprintf("ctr@%d", cyc), ctr},
-			namedConfig{fmt.Sprintf("xts@%d", cyc), xts},
+			namedConfig{Label: fmt.Sprintf("ctr@%d", cyc), Config: ctr},
+			namedConfig{Label: fmt.Sprintf("xts@%d", cyc), Config: xts},
 		)
 	}
 	vals, err := gmeanNormalized(scale, cfgs)
@@ -165,7 +158,7 @@ func AblationCryptoLatency(scale Scale) ([]AblationRow, error) {
 	}
 	var rows []AblationRow
 	for _, nc := range cfgs {
-		rows = append(rows, AblationRow{nc.label, "secddr", vals[nc.label]})
+		rows = append(rows, AblationRow{nc.Label, "secddr", vals[nc.Label]})
 	}
 	return rows, nil
 }
@@ -188,14 +181,10 @@ func AblationDDR5EWCRC(scale Scale) ([]AblationRow, error) {
 	}
 	var rows []AblationRow
 	for _, tech := range techs {
-		var jobs []job
-		for _, p := range profiles {
-			jobs = append(jobs,
-				job{workload: p, cfg: tech.mk(config.ModeSecDDRXTS), key: p.Name + "/sec"},
-				job{workload: p, cfg: tech.mk(config.ModeEncryptOnlyXTS), key: p.Name + "/enc"},
-			)
-		}
-		results, err := runAll(scale, jobs)
+		results, err := scale.runGrid(profiles, []namedConfig{
+			{Label: "sec", Config: tech.mk(config.ModeSecDDRXTS)},
+			{Label: "enc", Config: tech.mk(config.ModeEncryptOnlyXTS)},
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -3,19 +3,20 @@
 // configurations), Fig. 7 (metadata-cache behaviour), Fig. 8 (tree-arity
 // and counter-packing sensitivity), Figs. 10/12 (InvisiMem comparison with
 // XTS and counter-mode encryption), Table II (AES power), and the
-// Section III-B security analysis. Runs are deterministic and executed on a
-// worker pool; results normalize IPC to the Intel-TDX-like baseline
-// (encryption + ECC-chip MACs, no replay protection) exactly as the paper
-// does.
+// Section III-B security analysis. Each figure is a declarative workload x
+// configuration grid executed by internal/harness (bounded worker pool,
+// result caching, checkpoint resume); results normalize IPC to the
+// Intel-TDX-like baseline (encryption + ECC-chip MACs, no replay
+// protection) exactly as the paper does.
 package experiments
 
 import (
 	"fmt"
 	"runtime"
 	"strings"
-	"sync"
 
 	"secddr/internal/config"
+	"secddr/internal/harness"
 	"secddr/internal/sim"
 	"secddr/internal/stats"
 	"secddr/internal/trace"
@@ -29,6 +30,11 @@ type Scale struct {
 	Seed         uint64
 	Workers      int
 	Workloads    []string // nil = all 29
+
+	// Checkpoint, when non-empty, names the harness's persistent result
+	// cache: figure re-runs skip every already-computed point and
+	// interrupted sweeps resume (see internal/harness).
+	Checkpoint string
 
 	// footprintOverride, when nonzero, replaces every profile's cold
 	// working-set size (used by the footprint-scaling ablation).
@@ -77,50 +83,29 @@ func (s Scale) profiles() ([]trace.Profile, error) {
 	return out, nil
 }
 
-// job is one (workload, config) simulation.
-type job struct {
-	workload trace.Profile
-	cfg      config.Config
-	key      string // "workload/config-label"
-}
+// namedConfig pairs a configuration with its figure label.
+type namedConfig = harness.NamedConfig
 
-// runAll executes jobs on the worker pool, returning results by key.
-func runAll(scale Scale, jobs []job) (map[string]sim.Result, error) {
-	results := make(map[string]sim.Result, len(jobs))
-	var mu sync.Mutex
-	var firstErr error
-	ch := make(chan job)
-	var wg sync.WaitGroup
-	for w := 0; w < scale.workers(); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range ch {
-				res, err := sim.Run(sim.Options{
-					Config:       j.cfg,
-					Workload:     j.workload,
-					InstrPerCore: scale.InstrPerCore,
-					WarmupInstr:  scale.WarmupInstr,
-					Seed:         scale.Seed,
-				})
-				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = fmt.Errorf("%s: %w", j.key, err)
-				}
-				results[j.key] = res
-				mu.Unlock()
-			}
-		}()
+// runGrid executes a workload x configuration grid on the harness and
+// returns results keyed "workload/label". All figures share one seed so
+// every configuration sees the identical address stream, as in the paper.
+func (s Scale) runGrid(profiles []trace.Profile, configs []namedConfig) (map[string]sim.Result, error) {
+	grid := harness.Grid{
+		Workloads:    profiles,
+		Configs:      configs,
+		InstrPerCore: s.InstrPerCore,
+		WarmupInstr:  s.WarmupInstr,
+		Seed:         s.Seed,
 	}
-	for _, j := range jobs {
-		ch <- j
+	outs, _, err := harness.Run(harness.Campaign{
+		Jobs:       grid.Jobs(),
+		Workers:    s.workers(),
+		Checkpoint: s.Checkpoint,
+	})
+	if err != nil {
+		return nil, err
 	}
-	close(ch)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return results, nil
+	return harness.Index(outs), nil
 }
 
 // Series is one labelled bar series across workloads (one figure line).
@@ -194,12 +179,6 @@ func (f FigureResult) Format() string {
 	return b.String()
 }
 
-// namedConfig pairs a configuration with its figure label.
-type namedConfig struct {
-	label string
-	cfg   config.Config
-}
-
 // normalizedFigure runs baseline + configs over all workloads and
 // normalizes each config's IPC to the baseline's.
 func normalizedFigure(name string, scale Scale, baseline namedConfig, configs []namedConfig) (FigureResult, error) {
@@ -207,14 +186,7 @@ func normalizedFigure(name string, scale Scale, baseline namedConfig, configs []
 	if err != nil {
 		return FigureResult{}, err
 	}
-	var jobs []job
-	all := append([]namedConfig{baseline}, configs...)
-	for _, p := range profiles {
-		for _, nc := range all {
-			jobs = append(jobs, job{workload: p, cfg: nc.cfg, key: p.Name + "/" + nc.label})
-		}
-	}
-	results, err := runAll(scale, jobs)
+	results, err := scale.runGrid(profiles, append([]namedConfig{baseline}, configs...))
 	if err != nil {
 		return FigureResult{}, err
 	}
@@ -223,11 +195,11 @@ func normalizedFigure(name string, scale Scale, baseline namedConfig, configs []
 		fig.Workloads = append(fig.Workloads, p.Name)
 	}
 	for _, nc := range configs {
-		s := Series{Label: nc.label, Values: make(map[string]float64, len(profiles))}
+		s := Series{Label: nc.Label, Values: make(map[string]float64, len(profiles))}
 		for _, p := range profiles {
-			base := results[p.Name+"/"+baseline.label].IPC
+			base := results[p.Name+"/"+baseline.Label].IPC
 			if base > 0 {
-				s.Values[p.Name] = results[p.Name+"/"+nc.label].IPC / base
+				s.Values[p.Name] = results[p.Name+"/"+nc.Label].IPC / base
 			}
 		}
 		fig.Series = append(fig.Series, s)
@@ -238,20 +210,26 @@ func normalizedFigure(name string, scale Scale, baseline namedConfig, configs []
 // tdxBaseline is the normalization reference used throughout the paper's
 // figures: encryption plus ECC-chip MACs without replay protection.
 func tdxBaseline() namedConfig {
-	return namedConfig{label: "tdx-baseline", cfg: config.Table1(config.ModeEncryptOnlyCTR)}
+	return namedConfig{Label: "tdx-baseline", Config: config.Table1(config.ModeEncryptOnlyCTR)}
 }
 
 // Fig6 reproduces the overall performance comparison: the 64-ary integrity
 // tree, SecDDR+CTR, encrypt-only CTR, SecDDR+XTS, and encrypt-only XTS,
 // normalized to the TDX-like baseline.
 func Fig6(scale Scale) (FigureResult, error) {
-	return normalizedFigure("Fig. 6: normalized performance (IPC)", scale, tdxBaseline(), []namedConfig{
-		{"tree-64ary", config.Table1(config.ModeIntegrityTree)},
-		{"secddr+ctr", config.Table1(config.ModeSecDDRCTR)},
-		{"encrypt-only-ctr", config.Table1(config.ModeEncryptOnlyCTR)},
-		{"secddr+xts", config.Table1(config.ModeSecDDRXTS)},
-		{"encrypt-only-xts", config.Table1(config.ModeEncryptOnlyXTS)},
-	})
+	return normalizedFigure("Fig. 6: normalized performance (IPC)", scale, tdxBaseline(), Fig6Configs())
+}
+
+// Fig6Configs returns the five evaluated configurations of Fig. 6 in
+// figure order; cmd/secddr-sweep uses it as its default grid.
+func Fig6Configs() []namedConfig {
+	return []namedConfig{
+		{Label: "tree-64ary", Config: config.Table1(config.ModeIntegrityTree)},
+		{Label: "secddr+ctr", Config: config.Table1(config.ModeSecDDRCTR)},
+		{Label: "encrypt-only-ctr", Config: config.Table1(config.ModeEncryptOnlyCTR)},
+		{Label: "secddr+xts", Config: config.Table1(config.ModeSecDDRXTS)},
+		{Label: "encrypt-only-xts", Config: config.Table1(config.ModeEncryptOnlyXTS)},
+	}
 }
 
 // Fig7Row is one workload's bar pair in Fig. 7.
@@ -268,18 +246,15 @@ func Fig7(scale Scale) ([]Fig7Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	var jobs []job
-	cfg := config.Table1(config.ModeIntegrityTree)
-	for _, p := range profiles {
-		jobs = append(jobs, job{workload: p, cfg: cfg, key: p.Name})
-	}
-	results, err := runAll(scale, jobs)
+	results, err := scale.runGrid(profiles, []namedConfig{
+		{Label: "tree", Config: config.Table1(config.ModeIntegrityTree)},
+	})
 	if err != nil {
 		return nil, err
 	}
 	rows := make([]Fig7Row, 0, len(profiles))
 	for _, p := range profiles {
-		r := results[p.Name]
+		r := results[p.Name+"/tree"]
 		rows = append(rows, Fig7Row{Workload: p.Name, LLCMPKI: r.LLCMPKI, MetaMissRate: r.MetaMissRate})
 	}
 	return rows, nil
@@ -312,7 +287,6 @@ func Fig8(scale Scale) ([]Fig8Bar, error) {
 	type variant struct {
 		group string
 		label string
-		cfg   config.Config
 	}
 	mk := func(mode config.Mode, arity, packing int, hash bool) config.Config {
 		c := config.Table1(mode)
@@ -326,28 +300,27 @@ func Fig8(scale Scale) ([]Fig8Bar, error) {
 		return c
 	}
 	var variants []variant
+	configs := []namedConfig{{Label: "base", Config: tdxBaseline().Config}}
 	for _, g := range []int{8, 64, 128} {
 		gs := fmt.Sprintf("%d", g)
 		hash := g == 8 // the paper's 8-ary design is a hash tree over MACs
-		variants = append(variants,
-			variant{gs, "tree", mk(config.ModeIntegrityTree, g, g, hash)},
-			variant{gs, "secddr", mk(config.ModeSecDDRCTR, g, g, false)},
-			variant{gs, "encrypt-only", mk(config.ModeEncryptOnlyCTR, g, g, false)},
-		)
+		for _, v := range []struct {
+			label string
+			cfg   config.Config
+		}{
+			{"tree", mk(config.ModeIntegrityTree, g, g, hash)},
+			{"secddr", mk(config.ModeSecDDRCTR, g, g, false)},
+			{"encrypt-only", mk(config.ModeEncryptOnlyCTR, g, g, false)},
+		} {
+			variants = append(variants, variant{gs, v.label})
+			configs = append(configs, namedConfig{Label: gs + "/" + v.label, Config: v.cfg})
+		}
 	}
 	profiles, err := scale.profiles()
 	if err != nil {
 		return nil, err
 	}
-	base := tdxBaseline()
-	var jobs []job
-	for _, p := range profiles {
-		jobs = append(jobs, job{workload: p, cfg: base.cfg, key: p.Name + "/base"})
-		for _, v := range variants {
-			jobs = append(jobs, job{workload: p, cfg: v.cfg, key: p.Name + "/" + v.group + "/" + v.label})
-		}
-	}
-	results, err := runAll(scale, jobs)
+	results, err := scale.runGrid(profiles, configs)
 	if err != nil {
 		return nil, err
 	}
@@ -393,10 +366,10 @@ func invisiMemConfigs(enc config.EncryptionKind) []namedConfig {
 	real.Normalize()
 	unreal.Normalize()
 	return []namedConfig{
-		{"invisimem-unreal@3200", unreal},
-		{"invisimem-real@2400", real},
-		{"secddr", secddr},
-		{"encrypt-only", encOnly},
+		{Label: "invisimem-unreal@3200", Config: unreal},
+		{Label: "invisimem-real@2400", Config: real},
+		{Label: "secddr", Config: secddr},
+		{Label: "encrypt-only", Config: encOnly},
 	}
 }
 

@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"secddr/internal/sim"
+)
+
+// checkpointVersion guards the on-disk format; bump on breaking changes.
+// (Simulator behaviour changes are caught separately: sim.Options.Digest
+// embeds the simulator's own version tag.)
+const checkpointVersion = 1
+
+// checkpointFile is the on-disk shape: a digest -> result table.
+type checkpointFile struct {
+	Version int                   `json:"version"`
+	Entries map[string]sim.Result `json:"entries"`
+}
+
+// checkpoint is the in-memory persistent cache behind a campaign. An empty
+// path makes every method a cheap no-op (memory-only campaign). It has its
+// own lock so workers flushing results to disk never serialize the result
+// collection done under the campaign's mutex.
+type checkpoint struct {
+	path string
+
+	mu      sync.Mutex
+	entries map[string]sim.Result
+	// lastWrite fingerprints the file as we last wrote (or loaded) it, so
+	// mergeFromDisk can skip re-reading when no other process touched it —
+	// the overwhelmingly common single-process case.
+	lastWrite fileStamp
+}
+
+// fileStamp is a cheap change fingerprint for the checkpoint file.
+type fileStamp struct {
+	size    int64
+	modTime int64 // ns
+	valid   bool
+}
+
+func stampOf(path string) fileStamp {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return fileStamp{}
+	}
+	return fileStamp{size: fi.Size(), modTime: fi.ModTime().UnixNano(), valid: true}
+}
+
+// loadCheckpoint reads an existing checkpoint, or starts an empty one. A
+// missing file is a fresh sweep, not an error; a corrupt or
+// version-mismatched file is an error so stale caches never poison results.
+func loadCheckpoint(path string) (*checkpoint, error) {
+	ck := &checkpoint{path: path, entries: make(map[string]sim.Result)}
+	if path == "" {
+		return ck, nil
+	}
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return ck, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("harness: reading checkpoint: %w", err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("harness: corrupt or outdated checkpoint %s (delete it to start fresh): %w", path, err)
+	}
+	if f.Version != checkpointVersion {
+		return nil, fmt.Errorf("harness: checkpoint %s has version %d, want %d (delete it to start fresh)", path, f.Version, checkpointVersion)
+	}
+	if f.Entries != nil {
+		ck.entries = f.Entries
+	}
+	ck.lastWrite = stampOf(path)
+	return ck, nil
+}
+
+// lookup returns the cached result for a digest, if present.
+func (c *checkpoint) lookup(digest string) (sim.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, ok := c.entries[digest]
+	return res, ok
+}
+
+// record stores a fresh result and, when the checkpoint is backed by a
+// file, flushes the table with an atomic rename so an interrupted sweep
+// never leaves a torn file behind. Before writing it merges entries another
+// process may have added to the file since we loaded it (ours win), so
+// concurrent sweeps sharing a checkpoint cooperate instead of overwriting
+// each other's results.
+func (c *checkpoint) record(digest string, res sim.Result) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[digest] = res
+	if c.path == "" {
+		return nil
+	}
+	c.mergeFromDisk()
+	raw, err := json.Marshal(checkpointFile{Version: checkpointVersion, Entries: c.entries})
+	if err != nil {
+		return fmt.Errorf("harness: encoding checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(c.path), ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("harness: writing checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: writing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: writing checkpoint: %w", err)
+	}
+	c.lastWrite = stampOf(c.path)
+	return nil
+}
+
+// mergeFromDisk folds in entries a concurrent process has persisted since
+// our last write; our own entries win. The stat short-circuit keeps the
+// single-process case to one Stat per flush. Read or decode failures are
+// ignored — the file was validated at load time, and losing a peer's
+// in-flight points only costs re-simulation, never correctness.
+func (c *checkpoint) mergeFromDisk() {
+	if s := stampOf(c.path); s == c.lastWrite {
+		return
+	}
+	raw, err := os.ReadFile(c.path)
+	if err != nil {
+		return
+	}
+	var f checkpointFile
+	if json.Unmarshal(raw, &f) != nil || f.Version != checkpointVersion {
+		return
+	}
+	for d, res := range f.Entries {
+		if _, ours := c.entries[d]; !ours {
+			c.entries[d] = res
+		}
+	}
+}

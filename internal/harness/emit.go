@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// report is the JSON document WriteJSON emits.
+type report struct {
+	Version int       `json:"version"`
+	Stats   Stats     `json:"stats"`
+	Results []Outcome `json:"results"`
+}
+
+// WriteJSON emits the outcomes (in job order) plus campaign stats as an
+// indented JSON document. The rendering is deterministic: same jobs, same
+// seeds, same cache state — byte-identical bytes.
+func WriteJSON(w io.Writer, outs []Outcome, stats Stats) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report{Version: 1, Stats: stats, Results: outs})
+}
+
+// csvHeader lists the flattened per-outcome columns WriteCSV emits.
+var csvHeader = []string{
+	"key", "workload", "mode", "cached",
+	"ipc", "llc_mpki", "llc_miss_rate", "meta_miss_rate", "meta_accesses",
+	"avg_read_latency", "row_hit_rate", "dram_reads", "dram_writes",
+	"bandwidth_gbs", "instructions", "cycles",
+}
+
+// WriteCSV emits one row per outcome with the headline metrics, suitable
+// for spreadsheets and plotting scripts.
+func WriteCSV(w io.Writer, outs []Outcome) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, o := range outs {
+		r := o.Result
+		row := []string{
+			o.Key, o.Workload, o.Mode, fmt.Sprintf("%t", o.Cached),
+			fmt.Sprintf("%.6f", r.IPC),
+			fmt.Sprintf("%.4f", r.LLCMPKI),
+			fmt.Sprintf("%.6f", r.LLCMissRate),
+			fmt.Sprintf("%.6f", r.MetaMissRate),
+			fmt.Sprintf("%d", r.MetaAccesses),
+			fmt.Sprintf("%.2f", r.AvgReadLatency),
+			fmt.Sprintf("%.6f", r.RowHitRate),
+			fmt.Sprintf("%d", r.DRAMReads),
+			fmt.Sprintf("%d", r.DRAMWrites),
+			fmt.Sprintf("%.4f", r.BandwidthGBs),
+			fmt.Sprintf("%d", r.Instructions),
+			fmt.Sprintf("%d", r.Cycles),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

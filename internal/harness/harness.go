@@ -1,0 +1,249 @@
+// Package harness runs simulation campaigns: batches of (workload,
+// configuration) points executed on a bounded worker pool with result
+// caching and resumable checkpoints.
+//
+// A campaign is a flat list of Jobs, usually expanded from a declarative
+// Grid (workload x configuration cross product). Run schedules the jobs on
+// GOMAXPROCS workers, deduplicates identical simulation points within the
+// batch, and — when a checkpoint path is set — skips every point whose
+// digest is already recorded, persisting each new result as it completes so
+// an interrupted sweep resumes where it stopped. Results come back in job
+// order as Outcomes, ready for the JSON/CSV emitters in emit.go or for the
+// figure formatters in internal/experiments, which is itself a set of thin
+// grid definitions over this package.
+//
+// Caching is sound because the simulator is deterministic: a point's
+// digest (sim.Options.Digest) covers the full configuration, the workload
+// profile, the instruction counts, and the seed, so equal digests imply
+// byte-identical results. See DESIGN.md, "The experiment harness".
+package harness
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+
+	"secddr/internal/config"
+	"secddr/internal/sim"
+	"secddr/internal/trace"
+)
+
+// Job is one simulation point of a campaign.
+type Job struct {
+	// Key is the caller-facing result name, e.g. "mcf/secddr+ctr". Keys
+	// should be unique within a campaign; the last outcome wins in Index.
+	Key string
+	// Opt fully determines the simulation (and the cache digest).
+	Opt sim.Options
+}
+
+// NamedConfig pairs a configuration with its display label.
+type NamedConfig struct {
+	Label  string
+	Config config.Config
+}
+
+// Grid declares a workload x configuration sweep. It is the declarative
+// form the experiment figures and cmd/secddr-sweep are written in.
+type Grid struct {
+	Workloads []trace.Profile
+	Configs   []NamedConfig
+
+	InstrPerCore uint64
+	WarmupInstr  uint64
+	Seed         uint64
+
+	// SeedPerJob derives a distinct deterministic seed for every job from
+	// Seed and the job key (DeriveSeed). The paper's figures keep one shared
+	// seed so every configuration sees the identical address stream; sweeps
+	// that want independent trials per point set this.
+	SeedPerJob bool
+}
+
+// Jobs expands the grid in deterministic workload-major order.
+func (g Grid) Jobs() []Job {
+	jobs := make([]Job, 0, len(g.Workloads)*len(g.Configs))
+	for _, p := range g.Workloads {
+		for _, nc := range g.Configs {
+			key := p.Name + "/" + nc.Label
+			seed := g.Seed
+			if g.SeedPerJob {
+				seed = DeriveSeed(g.Seed, key)
+			}
+			jobs = append(jobs, Job{
+				Key: key,
+				Opt: sim.Options{
+					Config:       nc.Config,
+					Workload:     p,
+					InstrPerCore: g.InstrPerCore,
+					WarmupInstr:  g.WarmupInstr,
+					Seed:         seed,
+				},
+			})
+		}
+	}
+	return jobs
+}
+
+// DeriveSeed maps (base seed, job key) to a per-job seed, deterministically
+// across processes (FNV-1a over the base and the key).
+func DeriveSeed(base uint64, key string) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], base)
+	h.Write(b[:])
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Campaign is a batch of jobs plus execution policy.
+type Campaign struct {
+	Jobs []Job
+	// Workers bounds the pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// Checkpoint, when non-empty, names a JSON file used as a persistent
+	// result cache: points already recorded there are skipped, and each new
+	// result is flushed (atomic rename) as it completes, so an interrupted
+	// campaign resumes from where it stopped.
+	Checkpoint string
+}
+
+func (c Campaign) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Outcome is one job's result with its provenance.
+type Outcome struct {
+	Key      string     `json:"key"`
+	Workload string     `json:"workload"`
+	Mode     string     `json:"mode"`
+	Digest   string     `json:"digest"`
+	Cached   bool       `json:"cached"`
+	Result   sim.Result `json:"result"`
+}
+
+// Stats summarizes how a campaign was satisfied.
+type Stats struct {
+	Total    int `json:"total"`    // jobs requested
+	Executed int `json:"executed"` // simulations actually run
+	Cached   int `json:"cached"`   // jobs served from the checkpoint cache
+	Deduped  int `json:"deduped"`  // jobs served by an identical job in the same batch
+}
+
+// Index collapses outcomes to a key -> result map.
+func Index(outs []Outcome) map[string]sim.Result {
+	m := make(map[string]sim.Result, len(outs))
+	for _, o := range outs {
+		m[o.Key] = o.Result
+	}
+	return m
+}
+
+// Run executes the campaign and returns outcomes in job order. On a
+// simulation error it stops dispatching, waits for in-flight work (whose
+// results still reach the checkpoint), and returns the first error.
+func Run(c Campaign) ([]Outcome, Stats, error) {
+	stats := Stats{Total: len(c.Jobs)}
+
+	ckpt, err := loadCheckpoint(c.Checkpoint)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	// Resolve each job to a digest; schedule one execution per distinct
+	// digest that the checkpoint cannot satisfy.
+	digests := make([]string, len(c.Jobs))
+	cached := make(map[string]sim.Result)
+	pending := make(map[string]sim.Options)
+	keyOf := make(map[string]string) // digest -> job key, for error labels
+	var order []string               // deterministic dispatch order
+	for i, j := range c.Jobs {
+		d := j.Opt.Digest()
+		digests[i] = d
+		if res, ok := ckpt.lookup(d); ok {
+			cached[d] = res
+			stats.Cached++
+			continue
+		}
+		if _, ok := pending[d]; ok {
+			stats.Deduped++
+			continue
+		}
+		pending[d] = j.Opt
+		keyOf[d] = j.Key
+		order = append(order, d)
+	}
+	stats.Executed = len(order)
+
+	executed := make(map[string]sim.Result, len(order))
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	ch := make(chan string)
+	for w := 0; w < c.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for d := range ch {
+				res, err := sim.Run(pending[d])
+				if err == nil {
+					// The checkpoint has its own lock, so disk flushes never
+					// serialize result collection under mu.
+					err = ckpt.record(d, res)
+				}
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("%s: %w", keyOf[d], err)
+					}
+				} else {
+					executed[d] = res
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+dispatch:
+	for _, d := range order {
+		mu.Lock()
+		failed := firstErr != nil
+		mu.Unlock()
+		if failed {
+			break dispatch
+		}
+		ch <- d
+	}
+	close(ch)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, stats, firstErr
+	}
+
+	outs := make([]Outcome, len(c.Jobs))
+	for i, j := range c.Jobs {
+		d := digests[i]
+		res, fromCache := cached[d]
+		if !fromCache {
+			var ok bool
+			if res, ok = executed[d]; !ok {
+				return nil, stats, fmt.Errorf("harness: job %q produced no result", j.Key)
+			}
+		}
+		outs[i] = Outcome{
+			Key:      j.Key,
+			Workload: j.Opt.Workload.Name,
+			Mode:     j.Opt.Config.Security.Mode.String(),
+			Digest:   d,
+			Cached:   fromCache,
+			Result:   res,
+		}
+	}
+	return outs, stats, nil
+}

@@ -7,6 +7,8 @@
 package sim
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 
@@ -26,6 +28,39 @@ type Options struct {
 	Seed         uint64
 	MSHRsPerCore int   // outstanding LLC misses per core (default 16)
 	MaxCycles    int64 // safety cap on CPU cycles (default 400x instr target)
+}
+
+// withDefaults returns the options with the derived defaults Run applies,
+// so equivalent runs share one canonical form.
+func (o Options) withDefaults() Options {
+	if o.MSHRsPerCore == 0 {
+		o.MSHRsPerCore = 16
+	}
+	if o.MaxCycles == 0 {
+		o.MaxCycles = int64(o.InstrPerCore) * 400
+	}
+	return o
+}
+
+// simVersion tags Summary/Digest with the simulator's behavioral revision.
+// Bump it whenever a model change alters results for unchanged Options, so
+// harness checkpoints written by older binaries are invalidated instead of
+// silently serving stale numbers.
+const simVersion = 1
+
+// Summary returns a canonical one-line description of everything that
+// determines this run's result. Two Options with equal summaries produce
+// identical Results: the simulator is deterministic, and Options holds only
+// value types, so the rendering is stable across processes.
+func (o Options) Summary() string {
+	return fmt.Sprintf("sim-v%d %+v", simVersion, o.withDefaults())
+}
+
+// Digest returns a stable hex key for the run (SHA-256 of Summary). The
+// harness uses it to cache results and skip already-computed sweep points.
+func (o Options) Digest() string {
+	h := sha256.Sum256([]byte(o.Summary()))
+	return hex.EncodeToString(h[:])
 }
 
 // Result carries the metrics the paper's figures report.
@@ -256,12 +291,7 @@ func Run(opt Options) (Result, error) {
 	if opt.InstrPerCore == 0 {
 		return Result{}, errors.New("sim: InstrPerCore must be positive")
 	}
-	if opt.MSHRsPerCore == 0 {
-		opt.MSHRsPerCore = 16
-	}
-	if opt.MaxCycles == 0 {
-		opt.MaxCycles = int64(opt.InstrPerCore) * 400
-	}
+	opt = opt.withDefaults()
 	if err := opt.Config.Validate(); err != nil {
 		return Result{}, err
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 
 	"secddr/internal/config"
@@ -154,5 +155,29 @@ func TestRejectsZeroInstructions(t *testing.T) {
 	p, _ := trace.ByName("gcc")
 	if _, err := Run(Options{Config: config.Table1(config.ModeUnprotected), Workload: p}); err == nil {
 		t.Error("accepted zero instruction target")
+	}
+}
+
+func TestOptionsDigestCanonical(t *testing.T) {
+	p, _ := trace.ByName("gcc")
+	base := Options{Config: config.Table1(config.ModeSecDDRXTS), Workload: p, InstrPerCore: 10_000, Seed: 42}
+	if base.Digest() != base.Digest() {
+		t.Error("digest unstable")
+	}
+	// Options that Run treats identically (explicit vs implicit defaults)
+	// must share a digest, or the harness cache would rerun them.
+	explicit := base
+	explicit.MSHRsPerCore = 16
+	explicit.MaxCycles = int64(base.InstrPerCore) * 400
+	if explicit.Digest() != base.Digest() {
+		t.Error("equivalent defaults digest differently")
+	}
+	changed := base
+	changed.Seed++
+	if changed.Digest() == base.Digest() {
+		t.Error("digest ignores the seed")
+	}
+	if !strings.Contains(base.Summary(), "gcc") || !strings.Contains(base.Summary(), "sim-v") {
+		t.Error("summary omits the workload or version tag")
 	}
 }

@@ -15,11 +15,14 @@
 //   - The performance model (RunSim): a cycle-level DDR4-3200 simulator
 //     (Ramulator-style timing, FR-FCFS controller, caches, OoO cores) with
 //     every protection mode the paper evaluates.
-//   - The experiment harness (Fig6 .. Fig12, Table2): regenerates each
-//     table and figure of the paper's evaluation.
+//   - The experiment harness: a generic campaign runner (RunCampaign) that
+//     executes workload x configuration grids on a bounded worker pool with
+//     digest-keyed result caching and resumable checkpoints, plus the
+//     declarative figure definitions (Fig6 .. Fig12, Table2) that regenerate
+//     each table and figure of the paper's evaluation on top of it.
 //
-// See examples/ for runnable entry points and DESIGN.md for the system
-// inventory.
+// See examples/ for runnable entry points, README.md for the build and
+// figure-regeneration quickstart, and DESIGN.md for the system inventory.
 package secddr
 
 import (
@@ -27,6 +30,7 @@ import (
 	"secddr/internal/config"
 	"secddr/internal/core"
 	"secddr/internal/experiments"
+	"secddr/internal/harness"
 	"secddr/internal/protocol"
 	"secddr/internal/sim"
 	"secddr/internal/trace"
@@ -111,6 +115,31 @@ func Workloads() []Workload { return trace.Profiles() }
 func WorkloadByName(name string) (Workload, bool) { return trace.ByName(name) }
 
 // --- Experiment harness ---------------------------------------------------
+
+// Campaign is a batch of simulation jobs plus execution policy (worker
+// count, checkpoint path). See internal/harness.
+type Campaign = harness.Campaign
+
+// CampaignJob is one simulation point of a campaign.
+type CampaignJob = harness.Job
+
+// CampaignGrid declares a workload x configuration sweep.
+type CampaignGrid = harness.Grid
+
+// CampaignConfig pairs a configuration with its display label (the element
+// type of CampaignGrid.Configs).
+type CampaignConfig = harness.NamedConfig
+
+// CampaignOutcome is one job's result with its cache provenance.
+type CampaignOutcome = harness.Outcome
+
+// CampaignStats summarizes how a campaign was satisfied (executed vs
+// served from cache).
+type CampaignStats = harness.Stats
+
+// RunCampaign executes a campaign on the parallel harness, skipping points
+// the checkpoint has already computed.
+func RunCampaign(c Campaign) ([]CampaignOutcome, CampaignStats, error) { return harness.Run(c) }
 
 // Scale controls experiment length.
 type Scale = experiments.Scale
