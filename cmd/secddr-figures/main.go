@@ -110,7 +110,7 @@ func run() error {
 
 // runAblations executes the design-choice studies DESIGN.md calls out:
 // protected-capacity scaling, the eWCRC burst cost, metadata-cache sizing,
-// and crypto-latency sensitivity.
+// crypto-latency sensitivity, DDR5 burst economics, and channel scaling.
 func runAblations(scale experiments.Scale) error {
 	caps, err := experiments.AblationFootprintScaling(scale)
 	if err != nil {
@@ -145,5 +145,12 @@ func runAblations(scale experiments.Scale) error {
 		return err
 	}
 	fmt.Print(experiments.FormatAblation("Ablation: eWCRC penalty, DDR4 (8->10 beats) vs DDR5 (16->18)", d5))
+	fmt.Println()
+
+	chs, err := experiments.AblationChannelScaling(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatAblation("Ablation: DDR4 channel scaling (per-channel-count baseline)", chs))
 	return nil
 }

@@ -13,6 +13,7 @@
 //	secddr-sweep -modes secddr+ctr,integrity-tree -workloads mcf,lbm,pr \
 //	    -out results.json -csv results.csv
 //	secddr-sweep -modes all -instr 500000 -warmup 200000 -seed 7 -seed-per-job
+//	secddr-sweep -modes secddr+ctr,integrity-tree -channels 4   # multi-channel DDR4
 //
 // See README.md for more examples and DESIGN.md for the harness design.
 package main
@@ -43,6 +44,7 @@ func run() error {
 		quick      = flag.Bool("quick", false, "smoke scale (fast, noisier)")
 		instr      = flag.Uint64("instr", 0, "override measured instructions per core")
 		warmup     = flag.Uint64("warmup", 0, "override warmup instructions per core")
+		channels   = flag.Int("channels", 0, "override DDR channel count on every mode (power of two; default: each mode's Table 1 value)")
 		seed       = flag.Uint64("seed", 42, "base workload seed")
 		seedPerJob = flag.Bool("seed-per-job", false, "derive a distinct deterministic seed per grid point")
 		workers    = flag.Int("workers", 0, "parallel simulations (default GOMAXPROCS)")
@@ -66,6 +68,16 @@ func run() error {
 	configs, err := parseModes(*modes)
 	if err != nil {
 		return err
+	}
+	if *channels > 0 {
+		// Channel-interleaved multi-channel sweeps: the override is applied
+		// to every grid point and re-normalized, so derived fields (burst
+		// beats, timing) stay consistent; config validation rejects
+		// non-power-of-two counts.
+		for i := range configs {
+			configs[i].Config.DRAM.Channels = *channels
+			configs[i].Config.Normalize()
+		}
 	}
 	profiles, err := parseWorkloads(*workloads)
 	if err != nil {

@@ -84,13 +84,18 @@ type Core struct {
 	lastLoadReady int64 // -1: in flight; otherwise ready cycle
 	haveLastLoad  bool
 
-	// Stats.
+	// Stats. Retired/LoadsIssued/StoresIssued count events and are exact
+	// under any driver. Cycles, RetireStalls, and FetchStalls (and hence
+	// IPC()) count *ticks*, so they are meaningful only when the driver
+	// calls Tick every cycle — an event-driven driver that skips provably
+	// inert cycles (see NextEvent) leaves them undercounted. The
+	// simulator derives its IPC from its own cycle clock, not from these.
 	Retired      uint64
 	Cycles       uint64
 	LoadsIssued  uint64
 	StoresIssued uint64
-	RetireStalls uint64 // cycles the ROB head blocked retirement
-	FetchStalls  uint64 // cycles fetch was blocked (ROB full / memory)
+	RetireStalls uint64 // ticks the ROB head blocked retirement
+	FetchStalls  uint64 // ticks fetch was blocked (ROB full / memory)
 }
 
 // NewCore builds a core reading ops from src and accessing mem.
@@ -110,7 +115,8 @@ func (c *Core) Done() bool {
 	return c.srcDone && c.slots == 0 && !c.haveOp && c.gapLeft == 0
 }
 
-// IPC returns retired instructions per cycle so far.
+// IPC returns retired instructions per executed tick so far; see the
+// stats comment for when Cycles is meaningful.
 func (c *Core) IPC() float64 {
 	if c.Cycles == 0 {
 		return 0
@@ -139,6 +145,74 @@ func (c *Core) Tick(now int64) {
 	c.Cycles++
 	c.retire(now)
 	c.fetch(now)
+}
+
+// EventNever is NextEvent's sentinel for "only an external CompleteLoad can
+// unblock this core".
+const EventNever = int64(1) << 62
+
+// NextEvent returns the earliest CPU cycle strictly after now at which
+// Tick could change any architectural state (tick-counting diagnostics —
+// Cycles and the stall counters — excepted) — including externally
+// visible retries such
+// as a backpressured store or a structurally stalled load, which probe the
+// memory hierarchy every cycle — assuming no CompleteLoad arrives in the
+// meantime. It returns EventNever when the core is blocked purely on an
+// asynchronous completion. The simulator uses it to skip cycles it can
+// prove are no-ops; returning a cycle that is too early is harmless,
+// returning one that is too late would desynchronize the model, so every
+// uncertain case answers now+1.
+func (c *Core) NextEvent(now int64) int64 {
+	if c.Done() {
+		return EventNever
+	}
+	next := EventNever
+	// Retirement: in-order, so only the ROB head matters.
+	if c.slots > 0 {
+		switch e := &c.rob[c.head]; e.kind {
+		case kindBatch:
+			return now + 1 // ALU instructions retire unconditionally
+		case kindStore:
+			return now + 1 // store retries probe the LLC every cycle
+		case kindLoad:
+			if e.ready {
+				if e.readyAt <= now+1 {
+					return now + 1
+				}
+				next = e.readyAt // known future wake-up
+			}
+			// Not ready: blocked until CompleteLoad.
+		}
+	}
+	// Fetch: mirrors the gating in fetch(). Retirement cannot free ROB
+	// space before `next` (handled above), so the occupancy is stable.
+	if c.instrs >= c.cfg.ROBEntries || c.slots == len(c.rob) {
+		return next // ROB full: unblocked only by retirement
+	}
+	if !c.haveOp && c.gapLeft == 0 {
+		if c.srcDone {
+			return next // trace exhausted: only retirement remains
+		}
+		return now + 1 // will pull a fresh op
+	}
+	if c.gapLeft > 0 {
+		return now + 1 // ALU batch dispatch always makes progress
+	}
+	if c.nextOp.Store {
+		return now + 1 // store dispatch only needs a ROB slot
+	}
+	if c.nextOp.DependsPrev && c.haveLastLoad {
+		if c.lastLoadReady < 0 {
+			return next // address unknown until CompleteLoad
+		}
+		if c.lastLoadReady > now+1 {
+			if c.lastLoadReady < next {
+				next = c.lastLoadReady
+			}
+			return next
+		}
+	}
+	return now + 1 // dispatchable load: probes the LLC
 }
 
 func (c *Core) retire(now int64) {

@@ -97,6 +97,31 @@ func (m *AddressMapper) Map(addr uint64) (int, Loc) {
 	}
 }
 
+// Unmap is the inverse of Map: it reassembles the physical byte address of
+// the line that maps to the given channel and location. Map(Unmap(ch, loc))
+// round-trips for any in-range pair, which the channel-interleaving tests
+// rely on; it is also handy for turning controller-side locations back into
+// trace addresses when debugging.
+func (m *AddressMapper) Unmap(ch int, loc Loc) uint64 {
+	row := uint64(loc.Row)
+	// Undo the permutation-based interleaving (XOR is its own inverse).
+	bank := uint64(loc.Bank)
+	bg := uint64(loc.BankGroup)
+	if m.bankBits > 0 {
+		bank ^= row & (1<<uint(m.bankBits) - 1)
+	}
+	if m.bgBits > 0 {
+		bg ^= (row >> uint(m.bankBits)) & (1<<uint(m.bgBits) - 1)
+	}
+	a := row
+	a = a<<uint(m.rankBits) | uint64(loc.Rank)
+	a = a<<uint(m.bankBits) | bank
+	a = a<<uint(m.colBits) | uint64(loc.Col)
+	a = a<<uint(m.chBits) | uint64(ch)
+	a = a<<uint(m.bgBits) | bg
+	return a << uint(m.lineBits)
+}
+
 // LinesPerRow returns how many cache lines one row buffer holds.
 func (m *AddressMapper) LinesPerRow() int { return 1 << uint(m.colBits) }
 

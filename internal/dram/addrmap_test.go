@@ -93,6 +93,29 @@ func TestMapperRejectsBadGeometry(t *testing.T) {
 	}
 }
 
+func TestMapUnmapRoundTrip(t *testing.T) {
+	// Unmap must exactly invert Map, including the XOR bank/group
+	// permutation and the channel bits, for every channel count the
+	// multi-channel configurations use.
+	for _, nch := range []int{1, 2, 4} {
+		cfg := testDRAM(false)
+		cfg.Channels = nch
+		cfg.CapacityBytes *= int64(nch) // keep per-channel geometry fixed
+		m, err := NewAddressMapper(cfg)
+		if err != nil {
+			t.Fatalf("channels=%d: %v", nch, err)
+		}
+		f := func(addr uint64) bool {
+			addr = addr % uint64(cfg.CapacityBytes) &^ 63 // in-range line address
+			ch, loc := m.Map(addr)
+			return m.Unmap(ch, loc) == addr
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("channels=%d: %v", nch, err)
+		}
+	}
+}
+
 func TestMultiChannelMapping(t *testing.T) {
 	cfg := testDRAM(false)
 	cfg.Channels = 2

@@ -154,6 +154,17 @@ func (c *Channel) RefreshDue(rank int, now int64) bool {
 	return c.cfg.RefreshEnabled && now >= c.rank[rank].nextREF
 }
 
+// NextRefresh returns the absolute memory cycle of the rank's next refresh
+// deadline — the first cycle at which RefreshDue becomes true. It returns a
+// far-future sentinel when refresh is disabled. The controller's next-event
+// computation uses it to bound how far the clock may skip ahead.
+func (c *Channel) NextRefresh(rank int) int64 {
+	if !c.cfg.RefreshEnabled {
+		return 1 << 62
+	}
+	return c.rank[rank].nextREF
+}
+
 // EarliestIssue returns the earliest cycle >= now at which the command could
 // legally issue. It accounts for bank timing, rank constraints (tFAW,
 // refresh), the shared data bus for column commands, and the one-command-
@@ -363,4 +374,20 @@ func max64(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+// DebugState renders per-bank timing state. Opt-in debugging aid for
+// divergence localization (see memctrl.Controller.DebugState).
+func (c *Channel) DebugState() string {
+	s := fmt.Sprintf("bus=%d lastRank=%d lastCmd=%d ", c.dataBusFreeAt, c.lastBurstRank, c.lastCmdCycle)
+	for r := range c.rank {
+		rk := &c.rank[r]
+		s += fmt.Sprintf("r%d(ref=%d,busy=%d)[", r, rk.nextREF, rk.refBusy)
+		for b := range rk.banks {
+			bk := &rk.banks[b]
+			s += fmt.Sprintf("%d:%d/%d,%d,%d,%d ", b, bk.openRow, bk.nextACT, bk.nextPRE, bk.nextRD, bk.nextWR)
+		}
+		s += "] "
+	}
+	return s
 }

@@ -205,3 +205,51 @@ func AblationDDR5EWCRC(scale Scale) ([]AblationRow, error) {
 	}
 	return rows, nil
 }
+
+// AblationChannelScaling sweeps the DDR4 channel count — the bandwidth
+// lever the paper's single-channel evaluation leaves on the table. SecDDR's
+// central claim is that in-DRAM replay protection costs a fixed, per-access
+// amount while tree walks amplify every miss, so the gap should persist (or
+// widen) as memory bandwidth scales. Each row is gmean IPC normalized to
+// the TDX-like encrypt-only baseline *at the same channel count*, isolating
+// the protection overhead from the raw bandwidth win.
+func AblationChannelScaling(scale Scale) ([]AblationRow, error) {
+	profiles, err := scale.profiles()
+	if err != nil {
+		return nil, err
+	}
+	withChannels := func(mode config.Mode, nch int) config.Config {
+		c := config.Table1(mode)
+		c.DRAM.Channels = nch
+		c.Normalize()
+		return c
+	}
+	var rows []AblationRow
+	for _, nch := range []int{1, 2, 4} {
+		results, err := scale.runGrid(profiles, []namedConfig{
+			{Label: "base", Config: withChannels(config.ModeEncryptOnlyCTR, nch)},
+			{Label: "tree-64ary", Config: withChannels(config.ModeIntegrityTree, nch)},
+			{Label: "secddr+ctr", Config: withChannels(config.ModeSecDDRCTR, nch)},
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, label := range []string{"tree-64ary", "secddr+ctr"} {
+			prod, n := 1.0, 0
+			for _, p := range profiles {
+				b := results[p.Name+"/base"].IPC
+				v := results[p.Name+"/"+label].IPC
+				if b > 0 && v > 0 {
+					prod *= v / b
+					n++
+				}
+			}
+			v := 0.0
+			if n > 0 {
+				v = math.Pow(prod, 1/float64(n))
+			}
+			rows = append(rows, AblationRow{fmt.Sprintf("%dch", nch), label, v})
+		}
+	}
+	return rows, nil
+}

@@ -103,3 +103,30 @@ func TestAblationDDR5EWCRCPenaltySmaller(t *testing.T) {
 		t.Errorf("DDR5 eWCRC penalty (%.3f) not smaller than DDR4 (%.3f)", 1-ddr5, 1-ddr4)
 	}
 }
+
+func TestAblationChannelScaling(t *testing.T) {
+	s := ablScale()
+	s.Workloads = []string{"mcf"} // memory-bound: channel count matters
+	rows, err := AblationChannelScaling(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (3 channel counts x 2 configs)", len(rows))
+	}
+	byKey := map[string]float64{}
+	for _, r := range rows {
+		if r.Value <= 0 || r.Value > 2 {
+			t.Errorf("%s/%s = %.3f out of range", r.Param, r.Label, r.Value)
+		}
+		byKey[r.Param+"/"+r.Label] = r.Value
+	}
+	// The paper's claim at every bandwidth point: SecDDR's per-access cost
+	// stays below the tree's walk amplification.
+	for _, ch := range []string{"1ch", "2ch", "4ch"} {
+		if byKey[ch+"/secddr+ctr"] < byKey[ch+"/tree-64ary"] {
+			t.Errorf("%s: secddr (%.3f) below tree (%.3f)",
+				ch, byKey[ch+"/secddr+ctr"], byKey[ch+"/tree-64ary"])
+		}
+	}
+}

@@ -43,9 +43,23 @@ type Controller struct {
 	readQ  []*Request
 	writeQ []*Request
 
-	draining bool
-	pending  completionHeap
-	nextID   uint64
+	draining  bool
+	drainHigh int // write-drain high watermark, in queue entries
+	drainLow  int // write-drain low watermark, in queue entries
+	pending   completionHeap
+	nextID    uint64
+	doneBuf   []Completion // reused backing array for Tick's return value
+
+	// quietUntil memoizes the issue-side bound Tick computes after a no-op
+	// scheduler scan: no command can issue before it, so scans are skipped
+	// until the clock reaches it or the issue state mutates (quietDirty,
+	// set by every enqueue, issued command, and drain toggle — but not by
+	// completion pops, which never change issue legality). Maintained and
+	// consulted only in event-driven mode.
+	quietUntil    int64
+	quietDirty    bool
+	eventDriven   bool
+	lastIssueTick int64 // cycle of the most recent issued command
 
 	// Stats.
 	ReadsEnqueued   uint64
@@ -67,7 +81,16 @@ func New(cfg config.DRAM) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Controller{cfg: cfg, ch: ch, mapper: mapper}, nil
+	return &Controller{
+		cfg:    cfg,
+		ch:     ch,
+		mapper: mapper,
+		// The hysteresis thresholds are derived once: the quiet-span
+		// machinery and the scheduler must agree on them exactly, or
+		// event-driven runs would diverge from the reference loop.
+		drainHigh: int(float64(cfg.WriteQueueEntries) * cfg.WriteDrainHigh),
+		drainLow:  int(float64(cfg.WriteQueueEntries) * cfg.WriteDrainLow),
+	}, nil
 }
 
 // Channel exposes the underlying DRAM channel (stats, tests).
@@ -88,6 +111,28 @@ func (c *Controller) CanEnqueueRead() bool { return len(c.readQ) < c.cfg.ReadQue
 // CanEnqueueWrite reports whether a write slot is free.
 func (c *Controller) CanEnqueueWrite() bool { return len(c.writeQ) < c.cfg.WriteQueueEntries }
 
+// touch records an issue-side state mutation: it invalidates the quiet
+// bound so the next Tick re-evaluates the scheduler.
+func (c *Controller) touch() { c.quietDirty = true }
+
+// CanAccept reports, without mutating any state, whether an enqueue of
+// (addr, write) would succeed right now: a free queue slot, a write-queue
+// coalesce, or read-around-write forwarding all count. The engine's
+// next-event computation uses it to detect that a backlogged request could
+// drain on the next cycle.
+func (c *Controller) CanAccept(addr uint64, write bool) bool {
+	lineAddr := addr &^ uint64(c.cfg.LineBytes-1)
+	for _, w := range c.writeQ {
+		if w.Addr == lineAddr {
+			return true // write coalesce or read forwarding
+		}
+	}
+	if write {
+		return c.CanEnqueueWrite()
+	}
+	return c.CanEnqueueRead()
+}
+
 // EnqueueRead queues a read for addr. If the line has a pending write, the
 // read is served by store-forwarding: it completes immediately (forwarded
 // true) and never occupies a queue slot.
@@ -105,9 +150,36 @@ func (c *Controller) EnqueueRead(addr uint64, now int64) (id uint64, forwarded b
 	}
 	c.nextID++
 	_, loc := c.mapper.Map(lineAddr)
-	c.readQ = append(c.readQ, &Request{ID: c.nextID, Addr: lineAddr, Arrival: now, loc: loc})
+	req := &Request{ID: c.nextID, Addr: lineAddr, Arrival: now, loc: loc}
+	c.readQ = append(c.readQ, req)
 	c.ReadsEnqueued++
+	c.noteEnqueued(req, dram.CmdRD, now)
 	return c.nextID, false, nil
+}
+
+// noteEnqueued folds a newly queued request into the quiet bound. Adding a
+// request can only add issue opportunities and touches no channel state, so
+// min-ing its own earliest issue into a still-valid bound stays sound at
+// O(1) instead of invalidating the span. Crossing the write-drain high
+// watermark must still invalidate: the pending drain toggle is next-cycle
+// scheduler work no per-request term covers.
+func (c *Controller) noteEnqueued(req *Request, col dram.Command, now int64) {
+	if !c.eventDriven || c.quietDirty {
+		c.quietDirty = true
+		return
+	}
+	if !c.draining && len(c.writeQ) >= c.drainHigh {
+		c.quietDirty = true
+		return
+	}
+	// Anchor at now, not now+1: a request entering from the engine's
+	// backlog is enqueued before this cycle's scheduler pass runs, so it
+	// can legally issue in the very cycle it arrives. For enqueues that
+	// land after the pass the bound is one cycle conservative, which only
+	// costs a no-op wake.
+	if t := c.nextIssuable(req, col, now-1); t < c.quietUntil {
+		c.quietUntil = t
+	}
 }
 
 // EnqueueWrite queues a write-back for addr. Writes to a line already in
@@ -124,8 +196,10 @@ func (c *Controller) EnqueueWrite(addr uint64, now int64) error {
 	}
 	c.nextID++
 	_, loc := c.mapper.Map(lineAddr)
-	c.writeQ = append(c.writeQ, &Request{ID: c.nextID, Addr: lineAddr, Write: true, Arrival: now, loc: loc})
+	req := &Request{ID: c.nextID, Addr: lineAddr, Write: true, Arrival: now, loc: loc}
+	c.writeQ = append(c.writeQ, req)
 	c.WritesEnqueued++
+	c.noteEnqueued(req, dram.CmdWR, now)
 	return nil
 }
 
@@ -136,18 +210,173 @@ func (c *Controller) Idle() bool {
 
 // Tick advances the controller by one memory cycle: it returns reads whose
 // data completed at or before now, then issues at most one DRAM command.
+// The returned slice is only valid until the next Tick call.
+// In event-driven mode the scheduler scan is skipped during proven-quiet
+// spans: after a cycle in which nothing could issue, Tick computes the
+// earliest cycle at which anything could (quietUntil) and returns
+// immediately until the clock or an invalidating mutation (enqueue, issued
+// command) catches up. The scan itself — not the ticking — dominates
+// simulation cost, so this is where event-driven advance actually wins.
 func (c *Controller) Tick(now int64) []Completion {
-	var done []Completion
+	done := c.doneBuf[:0]
 	for c.pending.Len() > 0 && c.pending[0].Done <= now {
 		comp := heap.Pop(&c.pending).(Completion)
 		done = append(done, comp)
+		// Completion pops never change issue legality, so quietUntil
+		// survives them.
 	}
-	c.issueOne(now)
+	c.doneBuf = done
+	if c.eventDriven && !c.quietDirty && c.quietUntil > now {
+		return done
+	}
+	if c.issueOne(now) {
+		if c.eventDriven && c.lastIssueTick != now-1 {
+			// Isolated command in sparse traffic: prove the gap right away,
+			// saving the next-cycle wake and its no-op scan.
+			c.quietUntil = c.issueBound(now)
+			c.quietDirty = false
+		} else {
+			// Mid-burst: commands issue nearly every cycle, so assume more
+			// work next cycle rather than paying a bound computation per
+			// command. The first no-op scan after the burst buys the bound.
+			c.quietDirty = true
+		}
+		c.lastIssueTick = now
+	} else if c.eventDriven {
+		c.quietUntil = c.issueBound(now)
+		c.quietDirty = false
+	}
 	return done
 }
 
+// SetEventDriven enables (or disables) quiet-span scan skipping. Off by
+// default: the reference tick loop and all pre-existing callers see the
+// exact per-cycle behaviour of the original controller.
+func (c *Controller) SetEventDriven(v bool) { c.eventDriven = v }
+
+// NextEvent returns the earliest memory cycle strictly after now at which
+// Tick could change state: a pending read completing, or the scheduler
+// having work (quietUntil). The bound is conservative — waking early just
+// costs a no-op tick, while every cycle below the returned value is
+// provably inert, which is what lets the simulator's event-driven loop
+// skip it. O(1): when the issue-side state is dirty the answer is simply
+// "next cycle", and Tick will either do the work or pay for the proof.
+func (c *Controller) NextEvent(now int64) int64 {
+	next := int64(1) << 62
+	if c.pending.Len() > 0 {
+		next = c.pending[0].Done
+	}
+	if c.quietDirty {
+		if now+1 < next {
+			next = now + 1
+		}
+	} else if c.quietUntil < next {
+		next = c.quietUntil
+	}
+	if next <= now {
+		next = now + 1
+	}
+	return next
+}
+
+// issueBound returns the earliest cycle strictly after now at which
+// issueOne could act: a pending write-drain toggle, the next refresh
+// deadline (or the next step of an in-progress refresh sequence), or a
+// queued request becoming issuable.
+func (c *Controller) issueBound(now int64) int64 {
+	// A watermark crossing whose toggle has not run yet is genuine
+	// next-cycle work. issueOne evaluates the hysteresis before it
+	// schedules, so the command it just issued can itself cross the low
+	// watermark and leave a toggle pending; deferring that toggle to the
+	// next wake would let an interleaved enqueue change the decision and
+	// diverge from the cycle-accurate reference.
+	if (!c.draining && len(c.writeQ) >= c.drainHigh) || (c.draining && len(c.writeQ) <= c.drainLow) {
+		return now + 1
+	}
+	next := int64(1) << 62
+	for r := 0; r < c.cfg.Ranks; r++ {
+		if c.ch.RefreshDue(r, now+1) {
+			if t := c.nextRefreshStep(r, now); t < next {
+				next = t
+			}
+			continue
+		}
+		if nr := c.ch.NextRefresh(r); nr < next {
+			next = nr
+		}
+	}
+	for _, req := range c.readQ {
+		t := c.nextIssuable(req, dram.CmdRD, now)
+		if t <= now+1 {
+			return now + 1
+		}
+		if t < next {
+			next = t
+		}
+	}
+	for _, req := range c.writeQ {
+		t := c.nextIssuable(req, dram.CmdWR, now)
+		if t <= now+1 {
+			return now + 1
+		}
+		if t < next {
+			next = t
+		}
+	}
+	if next <= now {
+		next = now + 1
+	}
+	return next
+}
+
+// nextRefreshStep lower-bounds the cycle at which tryRefresh could issue
+// its next command for a rank whose refresh deadline has passed: the
+// earliest PRE closing any still-open bank, or — once all banks are
+// precharged — the REF itself. Without this bound an in-progress refresh
+// sequence (tens of cycles waiting on tRAS/tRP) would collapse the
+// controller's next event to now+1 and force a full scheduler scan every
+// cycle of the wait.
+func (c *Controller) nextRefreshStep(r int, now int64) int64 {
+	next := int64(1) << 62
+	anyOpen := false
+	for bg := 0; bg < c.cfg.BankGroups; bg++ {
+		for b := 0; b < c.cfg.BanksPerGroup(); b++ {
+			loc := dram.Loc{Rank: r, BankGroup: bg, Bank: b}
+			if _, open := c.ch.OpenRow(loc); open {
+				anyOpen = true
+				if t := c.ch.EarliestIssue(dram.CmdPRE, loc, now+1); t < next {
+					next = t
+				}
+			}
+		}
+	}
+	if anyOpen {
+		return next
+	}
+	// No open rows: EarliestIssue(REF) cannot return its caller-must-
+	// precharge sentinel here.
+	return c.ch.EarliestIssue(dram.CmdREF, dram.Loc{Rank: r}, now+1)
+}
+
+// nextIssuable lower-bounds the cycle at which the request's next command
+// (column on a row hit, PRE on a conflict, ACT on a closed bank) could
+// legally issue, assuming no other command issues first — which holds
+// whenever the caller takes the minimum across all queued requests.
+func (c *Controller) nextIssuable(req *Request, col dram.Command, now int64) int64 {
+	row, open := c.ch.OpenRow(req.loc)
+	switch {
+	case open && row == req.loc.Row:
+		return c.ch.EarliestIssue(col, req.loc, now+1)
+	case open:
+		return c.ch.EarliestIssue(dram.CmdPRE, req.loc, now+1)
+	default:
+		return c.ch.EarliestIssue(dram.CmdACT, req.loc, now+1)
+	}
+}
+
 // issueOne implements FR-FCFS with refresh priority and write draining.
-func (c *Controller) issueOne(now int64) {
+// It reports whether a DRAM command was issued this cycle.
+func (c *Controller) issueOne(now int64) bool {
 	// Refresh has highest priority: close banks and refresh due ranks.
 	refreshBlocked := make(map[int]bool, c.cfg.Ranks)
 	for r := 0; r < c.cfg.Ranks; r++ {
@@ -156,19 +385,19 @@ func (c *Controller) issueOne(now int64) {
 		}
 		refreshBlocked[r] = true
 		if c.tryRefresh(r, now) {
-			return
+			return true
 		}
 	}
 
 	// Write-drain mode hysteresis.
-	high := int(float64(c.cfg.WriteQueueEntries) * c.cfg.WriteDrainHigh)
-	low := int(float64(c.cfg.WriteQueueEntries) * c.cfg.WriteDrainLow)
-	if !c.draining && len(c.writeQ) >= high {
+	if !c.draining && len(c.writeQ) >= c.drainHigh {
 		c.draining = true
 		c.DrainEpisodes++
+		c.touch()
 	}
-	if c.draining && len(c.writeQ) <= low {
+	if c.draining && len(c.writeQ) <= c.drainLow {
 		c.draining = false
+		c.touch()
 	}
 
 	primary, secondary := c.readQ, c.writeQ
@@ -178,9 +407,9 @@ func (c *Controller) issueOne(now int64) {
 		primaryIsWrite = true
 	}
 	if c.scheduleFrom(primary, primaryIsWrite, refreshBlocked, now) {
-		return
+		return true
 	}
-	c.scheduleFrom(secondary, !primaryIsWrite, refreshBlocked, now)
+	return c.scheduleFrom(secondary, !primaryIsWrite, refreshBlocked, now)
 }
 
 // tryRefresh makes progress toward refreshing rank r; returns true if a
@@ -194,6 +423,7 @@ func (c *Controller) tryRefresh(r int, now int64) bool {
 				anyOpen = true
 				if c.ch.CanIssue(dram.CmdPRE, loc, now) {
 					c.ch.Issue(dram.CmdPRE, loc, now)
+					c.touch()
 					return true
 				}
 			}
@@ -205,6 +435,7 @@ func (c *Controller) tryRefresh(r int, now int64) bool {
 	loc := dram.Loc{Rank: r}
 	if c.ch.CanIssue(dram.CmdREF, loc, now) {
 		c.ch.Issue(dram.CmdREF, loc, now)
+		c.touch()
 		return true
 	}
 	return false
@@ -250,12 +481,14 @@ func (c *Controller) scheduleFrom(q []*Request, isWrite bool, blocked map[int]bo
 			if c.ch.CanIssue(dram.CmdPRE, req.loc, now) {
 				c.ch.Issue(dram.CmdPRE, req.loc, now)
 				c.ch.RecordRowOutcome(false, true)
+				c.touch()
 				return true
 			}
 		default:
 			if c.ch.CanIssue(dram.CmdACT, req.loc, now) {
 				c.ch.Issue(dram.CmdACT, req.loc, now)
 				c.ch.RecordRowOutcome(false, false)
+				c.touch()
 				return true
 			}
 		}
@@ -276,6 +509,7 @@ func olderWantsRow(older []*Request, loc dram.Loc, openRow uint32) bool {
 }
 
 func (c *Controller) issueColumn(req *Request, col dram.Command, idx int, isWrite bool, now int64, rowHit bool) {
+	c.touch()
 	done := c.ch.Issue(col, req.loc, now)
 	if rowHit {
 		c.ch.RecordRowOutcome(true, false)
@@ -318,4 +552,22 @@ func (h *completionHeap) Pop() interface{} {
 	x := old[n-1]
 	*h = old[:n-1]
 	return x
+}
+
+// Draining reports whether the controller is currently in write-drain mode.
+func (c *Controller) Draining() bool { return c.draining }
+
+// DebugState renders the controller's full scheduling-relevant state.
+// Opt-in debugging aid: when the simulator's per-cycle identity test finds
+// a divergence, add this to its state signature to see queue contents and
+// bank timing at the first bad cycle.
+func (c *Controller) DebugState() string {
+	s := fmt.Sprintf("drain=%v q=[", c.draining)
+	for _, r := range c.readQ {
+		s += fmt.Sprintf("R%d@%v ", r.ID, r.loc)
+	}
+	for _, w := range c.writeQ {
+		s += fmt.Sprintf("W%d@%v ", w.ID, w.loc)
+	}
+	return s + "] ch=" + c.ch.DebugState()
 }

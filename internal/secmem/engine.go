@@ -21,6 +21,7 @@ import (
 
 	"secddr/internal/cache"
 	"secddr/internal/config"
+	"secddr/internal/dram"
 	"secddr/internal/integrity"
 	"secddr/internal/memctrl"
 )
@@ -65,10 +66,19 @@ type pendingRef struct {
 	kind reqKind
 }
 
+// chanReq identifies one in-flight controller read: request IDs are
+// per-controller counters, so multi-channel configurations need the channel
+// index to disambiguate them.
+type chanReq struct {
+	ch int
+	id uint64
+}
+
 // Engine is the security-mode-aware memory front end.
 type Engine struct {
 	cfg       config.Config
-	ctl       *memctrl.Controller
+	ctls      []*memctrl.Controller // one per DRAM channel
+	mapper    *dram.AddressMapper   // routes addresses to channels
 	metaCache *cache.Cache
 	tree      *integrity.Tree // tree or counter layout; nil for XTS non-tree
 
@@ -77,10 +87,11 @@ type Engine struct {
 	hasWalk   bool  // counter and/or tree metadata accesses exist
 	walkBuf   []uint64
 
-	pending map[uint64]pendingRef
+	pending map[chanReq]pendingRef
 	backlog []backlogEntry
 	ready   readyHeap
 	nextTok uint64
+	outBuf  []ReadDone // reused backing array for Tick's return value
 
 	// Stats.
 	ReadsStarted     uint64
@@ -95,14 +106,21 @@ func NewEngine(cfg config.Config) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	ctl, err := memctrl.New(cfg.DRAM)
+	mapper, err := dram.NewAddressMapper(cfg.DRAM)
 	if err != nil {
 		return nil, err
 	}
+	ctls := make([]*memctrl.Controller, cfg.DRAM.Channels)
+	for i := range ctls {
+		if ctls[i], err = memctrl.New(cfg.DRAM); err != nil {
+			return nil, err
+		}
+	}
 	e := &Engine{
 		cfg:     cfg,
-		ctl:     ctl,
-		pending: make(map[uint64]pendingRef),
+		ctls:    ctls,
+		mapper:  mapper,
+		pending: make(map[chanReq]pendingRef),
 	}
 	// Crypto latency in memory cycles, preserving nanoseconds.
 	c := cfg.Security.CryptoLatency
@@ -143,8 +161,29 @@ func NewEngine(cfg config.Config) (*Engine, error) {
 	return e, nil
 }
 
-// Controller exposes the memory controller (stats, ticking coordination).
-func (e *Engine) Controller() *memctrl.Controller { return e.ctl }
+// Controller exposes channel 0's memory controller; single-channel callers
+// (the common case, and all of the paper's configurations) see exactly the
+// pre-multi-channel behaviour. Aggregating consumers should range over
+// Controllers instead.
+func (e *Engine) Controller() *memctrl.Controller { return e.ctls[0] }
+
+// Controllers exposes every per-channel memory controller in channel order.
+func (e *Engine) Controllers() []*memctrl.Controller { return e.ctls }
+
+// SetEventDriven enables quiet-span scan skipping in every channel
+// controller (see memctrl.Controller.SetEventDriven). Off by default so
+// pre-existing callers keep the original per-cycle behaviour.
+func (e *Engine) SetEventDriven(v bool) {
+	for _, ctl := range e.ctls {
+		ctl.SetEventDriven(v)
+	}
+}
+
+// channelOf routes a physical address to its memory channel.
+func (e *Engine) channelOf(addr uint64) int {
+	ch, _ := e.mapper.Map(addr)
+	return ch
+}
 
 // MetaCache exposes the metadata cache (nil for XTS-without-tree modes).
 func (e *Engine) MetaCache() *cache.Cache { return e.metaCache }
@@ -244,8 +283,10 @@ func (e *Engine) issue(t *txn, addr uint64, kind reqKind, write bool, now int64)
 
 // tryIssue attempts the controller enqueue; returns false when full.
 func (e *Engine) tryIssue(t *txn, addr uint64, kind reqKind, write bool, now int64) bool {
+	ch := e.channelOf(addr)
+	ctl := e.ctls[ch]
 	if write {
-		if err := e.ctl.EnqueueWrite(addr, now); err != nil {
+		if err := ctl.EnqueueWrite(addr, now); err != nil {
 			return false
 		}
 		if t != nil {
@@ -253,7 +294,7 @@ func (e *Engine) tryIssue(t *txn, addr uint64, kind reqKind, write bool, now int
 		}
 		return true
 	}
-	id, forwarded, err := e.ctl.EnqueueRead(addr, now)
+	id, forwarded, err := ctl.EnqueueRead(addr, now)
 	if err != nil {
 		return false
 	}
@@ -265,9 +306,9 @@ func (e *Engine) tryIssue(t *txn, addr uint64, kind reqKind, write bool, now int
 		return true
 	}
 	if t != nil {
-		e.pending[id] = pendingRef{t: t, kind: kind}
+		e.pending[chanReq{ch, id}] = pendingRef{t: t, kind: kind}
 	} else {
-		e.pending[id] = pendingRef{}
+		e.pending[chanReq{ch, id}] = pendingRef{}
 	}
 	return true
 }
@@ -306,8 +347,9 @@ func (e *Engine) maybeFinish(t *txn, now int64) {
 	heap.Push(&e.ready, ReadDone{Token: t.token, ReadyMem: ready})
 }
 
-// Tick advances one memory cycle: drains the backlog, ticks the controller,
-// routes completions, and returns reads that became usable.
+// Tick advances one memory cycle: drains the backlog, ticks every channel's
+// controller in channel order, routes completions, and returns reads that
+// became usable.
 func (e *Engine) Tick(now int64) []ReadDone {
 	// Drain backlog in order.
 	for len(e.backlog) > 0 {
@@ -317,26 +359,71 @@ func (e *Engine) Tick(now int64) []ReadDone {
 		}
 		e.backlog = e.backlog[1:]
 	}
-	for _, comp := range e.ctl.Tick(now) {
-		ref, ok := e.pending[comp.ID]
-		if !ok {
-			continue
-		}
-		delete(e.pending, comp.ID)
-		if ref.t != nil {
-			e.complete(ref.t, ref.kind, comp.Done)
+	for ch, ctl := range e.ctls {
+		for _, comp := range ctl.Tick(now) {
+			ref, ok := e.pending[chanReq{ch, comp.ID}]
+			if !ok {
+				continue
+			}
+			delete(e.pending, chanReq{ch, comp.ID})
+			if ref.t != nil {
+				e.complete(ref.t, ref.kind, comp.Done)
+			}
 		}
 	}
-	var out []ReadDone
+	out := e.outBuf[:0]
 	for e.ready.Len() > 0 && e.ready[0].ReadyMem <= now {
 		out = append(out, heap.Pop(&e.ready).(ReadDone))
 	}
+	e.outBuf = out
 	return out
 }
 
+// NextEvent returns the earliest memory cycle strictly after now at which
+// Tick could change state: the minimum of every channel controller's next
+// event and the earliest pending crypto-ready completion. A backlog whose
+// head is still rejected by its target queue needs no term of its own — it
+// can only start draining after that queue issues a command, and the issue
+// cycle is already part of the controller's bound — but once the head WOULD
+// be accepted (a slot freed, or a coalescible write appeared) the drain
+// happens on the very next tick.
+func (e *Engine) NextEvent(now int64) int64 {
+	if len(e.backlog) > 0 {
+		b := e.backlog[0]
+		if e.ctls[e.channelOf(b.addr)].CanAccept(b.addr, b.write) {
+			return now + 1
+		}
+	}
+	next := int64(1) << 62
+	for _, ctl := range e.ctls {
+		if t := ctl.NextEvent(now); t < next {
+			next = t
+		}
+	}
+	if e.ready.Len() > 0 && e.ready[0].ReadyMem < next {
+		next = e.ready[0].ReadyMem
+	}
+	if next <= now {
+		next = now + 1
+	}
+	return next
+}
+
+// BacklogLen returns the number of requests waiting behind full controller
+// queues.
+func (e *Engine) BacklogLen() int { return len(e.backlog) }
+
 // Idle reports whether all queues, backlogs, and pending work are drained.
 func (e *Engine) Idle() bool {
-	return len(e.backlog) == 0 && len(e.pending) == 0 && e.ready.Len() == 0 && e.ctl.Idle()
+	if len(e.backlog) != 0 || len(e.pending) != 0 || e.ready.Len() != 0 {
+		return false
+	}
+	for _, ctl := range e.ctls {
+		if !ctl.Idle() {
+			return false
+		}
+	}
+	return true
 }
 
 // String summarizes engine state.

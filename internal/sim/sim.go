@@ -31,16 +31,23 @@ type Options struct {
 }
 
 // withDefaults returns the options with the derived defaults Run applies,
-// so equivalent runs share one canonical form.
+// so equivalent runs share one canonical form. The derived cycle cap covers
+// warmup as well as the measured region: warmup instructions burn cycles
+// like any others, so a cap derived from InstrPerCore alone would spuriously
+// kill warmup-heavy runs.
 func (o Options) withDefaults() Options {
 	if o.MSHRsPerCore == 0 {
 		o.MSHRsPerCore = 16
 	}
 	if o.MaxCycles == 0 {
-		o.MaxCycles = int64(o.InstrPerCore) * 400
+		o.MaxCycles = int64(o.InstrPerCore+o.WarmupInstr) * 400
 	}
 	return o
 }
+
+// debugHook, when set by a test, observes the system after each simulated
+// (non-skipped) iteration's memory ticks, before the core ticks.
+var debugHook func(*system)
 
 // simVersion tags Summary/Digest with the simulator's behavioral revision.
 // Bump it whenever a model change alters results for unchanged Options, so
@@ -84,6 +91,13 @@ type Result struct {
 	BandwidthGBs    float64 // average data-bus bandwidth
 	PrefetchesSent  uint64
 	WritebacksToMem uint64
+
+	// IPCClamped records that at least one core crossed warmup and its
+	// retirement target in the same cycle, leaving a zero-cycle measurement
+	// window; its per-core IPC was clamped to a one-cycle window instead of
+	// the +Inf that would make the whole Result unmarshalable (encoding/json
+	// rejects infinities, silently breaking harness checkpoints).
+	IPCClamped bool
 }
 
 // mshrEntry tracks one outstanding LLC line fill.
@@ -116,6 +130,26 @@ type system struct {
 	nextToken  uint64
 	outstandPf int
 
+	// memEventAt caches engine.NextEvent: the bound stays valid until the
+	// predicted cycle executes (memNow catches up) or new work enters the
+	// engine (memEventStale, set by every StartRead/StartWrite). The cache
+	// turns the per-cycle cost of the idle check from a queue scan into a
+	// comparison, which is what makes event-driven advance a net win even
+	// when the memory system is busy.
+	memEventAt    int64
+	memEventStale bool
+	eventDriven   bool // false: reference cycle-by-cycle tick loop
+
+	// coreNextAt caches each core's NextEvent (an absolute CPU cycle):
+	// a core's bound stays valid until the core itself ticks or an
+	// asynchronous CompleteLoad lands (which zeroes the entry). Stalled
+	// cores therefore cost one comparison per iteration instead of a ROB
+	// inspection. Event-driven mode only.
+	coreNextAt []int64
+
+	skipEvents int64 // fast-forward jumps taken (diagnostics)
+	skipCycles int64 // CPU cycles skipped by fast-forwarding (diagnostics)
+
 	finishCycle []int64
 	warmCycle   []int64
 	demandMiss  uint64
@@ -138,22 +172,49 @@ type snapshot struct {
 	instructions                 uint64
 }
 
+// memTotals sums the measurement-relevant controller and channel counters
+// across every memory channel, so single- and multi-channel configurations
+// report through the same snapshot/collect path.
+type memTotals struct {
+	readLatSum, readsDone        uint64
+	writesEnq                    uint64
+	numRD, numWR                 uint64
+	rowHits, rowMisses, rowConfl uint64
+	busBusy                      uint64
+}
+
+func (s *system) memTotals() memTotals {
+	var t memTotals
+	for _, ctl := range s.engine.Controllers() {
+		ch := ctl.Channel()
+		t.readLatSum += ctl.ReadLatencySum
+		t.readsDone += ctl.ReadsCompleted
+		t.writesEnq += ctl.WritesEnqueued
+		t.numRD += ch.NumRD
+		t.numWR += ch.NumWR
+		t.rowHits += ch.RowHits
+		t.rowMisses += ch.RowMisses
+		t.rowConfl += ch.RowConflicts
+		t.busBusy += ch.DataBusBusyCycles
+	}
+	return t
+}
+
 func (s *system) takeSnapshot() {
-	ctl := s.engine.Controller()
-	ch := ctl.Channel()
+	mt := s.memTotals()
 	s.snap = snapshot{
 		demandMiss: s.demandMiss,
 		llcAccess:  s.llcAccess,
 		metaReads:  s.engine.MetaReads,
-		readLatSum: ctl.ReadLatencySum,
-		readsDone:  ctl.ReadsCompleted,
-		writesEnq:  ctl.WritesEnqueued,
-		numRD:      ch.NumRD,
-		numWR:      ch.NumWR,
-		rowHits:    ch.RowHits,
-		rowMisses:  ch.RowMisses,
-		rowConfl:   ch.RowConflicts,
-		busBusy:    ch.DataBusBusyCycles,
+		readLatSum: mt.readLatSum,
+		readsDone:  mt.readsDone,
+		writesEnq:  mt.writesEnq,
+		numRD:      mt.numRD,
+		numWR:      mt.numWR,
+		rowHits:    mt.rowHits,
+		rowMisses:  mt.rowMisses,
+		rowConfl:   mt.rowConfl,
+		busBusy:    mt.busBusy,
 		memNow:     s.memNow,
 	}
 	if mc := s.engine.MetaCache(); mc != nil {
@@ -232,6 +293,7 @@ func (p *corePort) Store(addr uint64, now int64) bool {
 func (s *system) startFill(e *mshrEntry) {
 	s.byLine[e.lineAddr] = e
 	tok := s.engine.StartRead(e.lineAddr, s.memNow)
+	s.memEventStale = true
 	s.byToken[tok] = e
 	if e.prefetch {
 		s.outstandPf++
@@ -259,9 +321,27 @@ func (s *system) trainPrefetcher(line uint64) {
 	}
 }
 
+// memEventDue reports whether the engine could do any work at memory cycle
+// m, refreshing the cached next-event bound when its anchor has been
+// passed or new requests entered the engine since it was computed.
+func (s *system) memEventDue(m int64) bool {
+	if s.memEventStale || s.memEventAt < m {
+		s.memEventAt = s.engine.NextEvent(m - 1) // earliest active cycle >= m
+		s.memEventStale = false
+	}
+	return s.memEventAt <= m
+}
+
 // memTick advances the memory domain one cycle and routes completions.
+// In event-driven mode, cycles on which the engine provably cannot do work
+// advance the clock only: this is what removes the per-cycle FR-FCFS queue
+// scans even when an active core prevents the whole-system fast-forward.
+// The reference tick loop runs the engine unconditionally.
 func (s *system) memTick() {
 	s.memNow++
+	if s.eventDriven && !s.memEventDue(s.memNow) {
+		return
+	}
 	for _, done := range s.engine.Tick(s.memNow) {
 		e, ok := s.byToken[done.Token]
 		if !ok {
@@ -277,50 +357,148 @@ func (s *system) memTick() {
 		victim, has := s.llc.Fill(e.lineAddr, e.dirtyOnFill)
 		if has && victim.Dirty {
 			s.engine.StartWrite(victim.Addr, s.memNow)
+			s.memEventStale = true
 		}
 		for _, w := range e.waiters {
 			if s.finishCycle[w.core] == 0 {
 				s.cores[w.core].CompleteLoad(w.token, s.cpuNow)
+				s.coreNextAt[w.core] = 0 // async wake: bound invalid
 			}
 		}
 	}
+	// Re-aggregating the engine bound is O(channels) now that controllers
+	// maintain their own quiet spans, so just mark it stale.
+	s.memEventStale = true
 }
 
-// Run executes one simulation and returns its metrics.
-func Run(opt Options) (Result, error) {
+// idleCycles returns how many whole loop iterations (CPU cycles) can be
+// skipped because no component would change state in any of them: every
+// unfinished core's next event lies beyond the skipped window, and none of
+// the memory cycles the window contains can perform controller, channel, or
+// engine work. Returns 0 when the current cycle must be simulated. The
+// per-iteration warmup/finish bookkeeping in run() cannot fire inside a
+// skipped window either: retirement counts are frozen while cores are
+// inert, and both thresholds are checked in the same iteration a count
+// crosses them.
+func (s *system) idleCycles(cpuMHz, memMHz int) int64 {
+	// Cores first: the check is O(1) per core, and in compute-heavy phases
+	// some core is almost always active, short-circuiting before the more
+	// expensive memory-side scan.
+	minCore := cpu.EventNever
+	for i, c := range s.cores {
+		if s.finishCycle[i] != 0 {
+			continue
+		}
+		t := s.coreNextAt[i]
+		if t == 0 { // async wake or first look: inspect the core
+			t = c.NextEvent(s.cpuNow - 1) // earliest active cycle >= cpuNow
+			s.coreNextAt[i] = t
+		}
+		// Invariant: a nonzero cached bound is never below cpuNow — ticks
+		// refresh it to cpuNow+1 and jumps never overshoot the minimum —
+		// so a stale-but-reached bound needs no recomputation to conclude
+		// "active now".
+		if t <= s.cpuNow {
+			return 0
+		}
+		if t < minCore {
+			minCore = t
+		}
+	}
+	jump := minCore - s.cpuNow
+	if cap := s.opt.MaxCycles - s.cpuNow; jump > cap {
+		// Jumping past the cap would exit the loop exactly as ticking
+		// through these no-op cycles would: with the cycle-cap error.
+		jump = cap
+	}
+
+	// Memory domain: this iteration's memory ticks cover cycles memNow+1
+	// onward, so the first cycle with work bounds how many iterations may
+	// be skipped. After j iterations the tick loop would have advanced the
+	// memory clock by (memAcc + j*memMHz) / cpuMHz cycles; keep that short
+	// of the next event. The cached bound is recomputed only once its
+	// predicted cycle has executed or new requests entered the engine —
+	// no-op ticks in between cannot move it.
+	if s.memEventStale || s.memEventAt <= s.memNow {
+		s.memEventAt = s.engine.NextEvent(s.memNow)
+		s.memEventStale = false
+	}
+	dm := s.memEventAt - s.memNow // >= 1
+	if dm > 1<<40 {
+		dm = 1 << 40 // keep dm*cpuMHz well inside int64
+	}
+	if memJump := (dm*int64(cpuMHz) - int64(s.memAcc) - 1) / int64(memMHz); memJump < jump {
+		jump = memJump
+	}
+	if jump < 0 {
+		jump = 0
+	}
+	return jump
+}
+
+// Run executes one simulation and returns its metrics. The clock advance is
+// event-driven: whenever every core and every memory-channel component is
+// provably inert, both clock domains jump straight to the next cycle at
+// which any of them can do work, instead of ticking one cycle at a time.
+// The jump is taken only when all skipped cycles are no-ops, so Run is
+// result-identical to the reference tick loop (runTickLoop) for every
+// configuration — the property tests assert this across modes, workloads,
+// and channel counts.
+func Run(opt Options) (Result, error) { return run(opt, false) }
+
+// runTickLoop executes the same simulation with the reference cycle-by-
+// cycle loop. It exists so tests and benchmarks can compare the two
+// advance strategies; production callers should use Run.
+func runTickLoop(opt Options) (Result, error) { return run(opt, true) }
+
+func run(opt Options, tickLoop bool) (Result, error) {
+	s, err := runSystem(opt, tickLoop)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.collect(), nil
+}
+
+// runSystem executes the simulation loop and returns the finished system,
+// so tests can inspect internals (e.g. fast-forward statistics) that
+// Result does not carry.
+func runSystem(opt Options, tickLoop bool) (*system, error) {
 	if opt.InstrPerCore == 0 {
-		return Result{}, errors.New("sim: InstrPerCore must be positive")
+		return nil, errors.New("sim: InstrPerCore must be positive")
 	}
 	opt = opt.withDefaults()
 	if err := opt.Config.Validate(); err != nil {
-		return Result{}, err
+		return nil, err
 	}
 
 	engine, err := secmem.NewEngine(opt.Config)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
+	engine.SetEventDriven(!tickLoop)
 	llc, err := cache.New(opt.Config.LLC)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	s := &system{
-		opt:     opt,
-		engine:  engine,
-		llc:     llc,
-		pf:      cache.NewStreamPrefetcher(opt.Config.Prefetch),
-		byLine:  make(map[uint64]*mshrEntry),
-		byToken: make(map[uint64]*mshrEntry),
+		opt:         opt,
+		engine:      engine,
+		llc:         llc,
+		pf:          cache.NewStreamPrefetcher(opt.Config.Prefetch),
+		byLine:      make(map[uint64]*mshrEntry),
+		byToken:     make(map[uint64]*mshrEntry),
+		eventDriven: !tickLoop,
 	}
 	n := opt.Config.Core.NumCores
 	s.cores = make([]*cpu.Core, n)
+	s.coreNextAt = make([]int64, n)
 	s.mshrInUse = make([]int, n)
 	s.finishCycle = make([]int64, n)
 	s.warmCycle = make([]int64, n)
 	for i := 0; i < n; i++ {
 		gen, err := trace.NewGenerator(opt.Workload, uint64(i)*(2<<30), opt.Seed+uint64(i)*0x1234567)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 		// Functional warmup, part 1: fill this core's share of the LLC with
 		// a statistically equivalent address stream (different seed) so the
@@ -328,7 +506,7 @@ func Run(opt Options) (Result, error) {
 		// writebacks flow from the first cycle, as in steady state.
 		warmGen, err := trace.NewGenerator(opt.Workload, uint64(i)*(2<<30), opt.Seed+uint64(i)*0x1234567+0x9e3779b9)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 		share := opt.Config.LLC.SizeBytes / opt.Config.LLC.LineBytes / n
 		for j := 0; j < share; j++ {
@@ -351,16 +529,46 @@ func Run(opt Options) (Result, error) {
 	warming := n
 	target := opt.WarmupInstr + opt.InstrPerCore
 	for remaining > 0 && s.cpuNow < opt.MaxCycles {
+		if !tickLoop {
+			if jump := s.idleCycles(cpuMHz, memMHz); jump > 0 {
+				// Every skipped iteration is a proven no-op in both clock
+				// domains: advance the clocks with the exact arithmetic the
+				// tick loop would have performed and re-evaluate.
+				s.skipEvents++
+				s.skipCycles += jump
+				s.cpuNow += jump
+				total := int64(s.memAcc) + jump*int64(memMHz)
+				s.memNow += total / int64(cpuMHz)
+				s.memAcc = int(total % int64(cpuMHz))
+				continue
+			}
+		}
 		s.memAcc += memMHz
 		for s.memAcc >= cpuMHz {
 			s.memAcc -= cpuMHz
 			s.memTick()
 		}
+		if debugHook != nil {
+			debugHook(s)
+		}
 		for i, c := range s.cores {
 			if s.finishCycle[i] != 0 {
 				continue
 			}
-			c.Tick(s.cpuNow)
+			// A core whose cached next event lies beyond this cycle cannot
+			// change state: its Tick is a semantic no-op, so the event-
+			// driven loop skips the call. Completions delivered by this
+			// iteration's memory ticks invalidate the cache, so an async
+			// wake is never missed. The reference loop ticks
+			// unconditionally. The threshold checks below still run: with
+			// zero retirement they can only fire in the WarmupInstr==0
+			// case, identically in both loops.
+			if tickLoop || s.coreNextAt[i] <= s.cpuNow {
+				c.Tick(s.cpuNow)
+				if !tickLoop {
+					s.coreNextAt[i] = c.NextEvent(s.cpuNow)
+				}
+			}
 			if s.warmCycle[i] == 0 && c.Retired >= opt.WarmupInstr {
 				s.warmCycle[i] = s.cpuNow + 1
 				warming--
@@ -376,10 +584,10 @@ func Run(opt Options) (Result, error) {
 		s.cpuNow++
 	}
 	if remaining > 0 {
-		return Result{}, fmt.Errorf("sim: %s/%v exceeded cycle cap %d (%d cores unfinished)",
+		return nil, fmt.Errorf("sim: %s/%v exceeded cycle cap %d (%d cores unfinished)",
 			opt.Workload.Name, opt.Config.Security.Mode, opt.MaxCycles, remaining)
 	}
-	return s.collect(), nil
+	return s, nil
 }
 
 func (s *system) collect() Result {
@@ -389,14 +597,26 @@ func (s *system) collect() Result {
 		Cycles:   s.cpuNow,
 	}
 	for i, c := range s.cores {
-		ipc := float64(s.opt.InstrPerCore) / float64(s.finishCycle[i]-s.warmCycle[i])
+		window := s.finishCycle[i] - s.warmCycle[i]
+		if window < 1 {
+			// Warmup and the retirement target crossed in the same cycle:
+			// clamp to a one-cycle window (and flag it) rather than emit the
+			// +Inf that encoding/json refuses to marshal.
+			window = 1
+			r.IPCClamped = true
+		}
+		ipc := float64(s.opt.InstrPerCore) / float64(window)
 		r.PerCoreIPC = append(r.PerCoreIPC, ipc)
 		r.IPC += ipc
 		r.Instructions += c.Retired
 	}
 	r.Instructions -= s.snap.instructions
-	ki := float64(r.Instructions) / 1000
-	r.LLCMPKI = float64(s.demandMiss-s.snap.demandMiss) / ki
+	// Guard every measured-window ratio: a degenerate window (see
+	// IPCClamped) can leave zero instructions or accesses in the
+	// denominator, and a NaN anywhere in Result breaks JSON encoding.
+	if ki := float64(r.Instructions) / 1000; ki > 0 {
+		r.LLCMPKI = float64(s.demandMiss-s.snap.demandMiss) / ki
+	}
 	if acc := s.llcAccess - s.snap.llcAccess; acc > 0 {
 		r.LLCMissRate = float64(s.demandMiss-s.snap.demandMiss) / float64(acc)
 	}
@@ -407,25 +627,25 @@ func (s *system) collect() Result {
 		r.MetaAccesses = mc.Accesses - s.snap.metaAcc
 	}
 	r.MetaMemReads = s.engine.MetaReads - s.snap.metaReads
-	ctl := s.engine.Controller()
-	if done := ctl.ReadsCompleted - s.snap.readsDone; done > 0 {
-		r.AvgReadLatency = float64(ctl.ReadLatencySum-s.snap.readLatSum) / float64(done)
+	mt := s.memTotals()
+	if done := mt.readsDone - s.snap.readsDone; done > 0 {
+		r.AvgReadLatency = float64(mt.readLatSum-s.snap.readLatSum) / float64(done)
 	}
-	ch := ctl.Channel()
-	r.DRAMReads = ch.NumRD - s.snap.numRD
-	r.DRAMWrites = ch.NumWR - s.snap.numWR
-	hits := ch.RowHits - s.snap.rowHits
-	total := hits + (ch.RowMisses - s.snap.rowMisses) + (ch.RowConflicts - s.snap.rowConfl)
+	r.DRAMReads = mt.numRD - s.snap.numRD
+	r.DRAMWrites = mt.numWR - s.snap.numWR
+	hits := mt.rowHits - s.snap.rowHits
+	total := hits + (mt.rowMisses - s.snap.rowMisses) + (mt.rowConfl - s.snap.rowConfl)
 	if total > 0 {
 		r.RowHitRate = float64(hits) / float64(total)
 	}
 	if dm := s.memNow - s.snap.memNow; dm > 0 {
-		// Bytes moved / wall time: busy cycles x 2 beats x 8 bytes.
-		bytes := float64(ch.DataBusBusyCycles-s.snap.busBusy) * 2 * 8
+		// Bytes moved / wall time: busy cycles x 2 beats x 8 bytes, summed
+		// over channels (each channel has its own data bus).
+		bytes := float64(mt.busBusy-s.snap.busBusy) * 2 * 8
 		seconds := float64(dm) / (float64(s.opt.Config.DRAM.ClockMHz) * 1e6)
 		r.BandwidthGBs = bytes / seconds / 1e9
 	}
 	r.PrefetchesSent = s.prefetches
-	r.WritebacksToMem = ctl.WritesEnqueued - s.snap.writesEnq
+	r.WritebacksToMem = mt.writesEnq - s.snap.writesEnq
 	return r
 }

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 
@@ -148,6 +150,70 @@ func TestBandwidthAndRowStatsPopulated(t *testing.T) {
 	}
 	if res.DRAMReads == 0 {
 		t.Error("no DRAM reads recorded")
+	}
+}
+
+func TestDefaultCycleCapCoversWarmup(t *testing.T) {
+	// The derived cap must include warmup instructions: they burn cycles
+	// like any others, so a cap from InstrPerCore alone spuriously kills
+	// warmup-heavy runs.
+	o := Options{InstrPerCore: 1_000, WarmupInstr: 99_000}
+	if got, want := o.withDefaults().MaxCycles, int64(100_000)*400; got != want {
+		t.Errorf("derived MaxCycles = %d, want %d (warmup included)", got, want)
+	}
+	// An explicit cap is never overridden.
+	o.MaxCycles = 7
+	if got := o.withDefaults().MaxCycles; got != 7 {
+		t.Errorf("explicit MaxCycles overridden: %d", got)
+	}
+	// End to end: a run dominated by warmup completes under the derived
+	// cap. Under the old InstrPerCore-only cap this point would need the
+	// measured region to finish within 400x1000 cycles of warmup ending,
+	// which stall-heavy modes cannot guarantee.
+	p, _ := trace.ByName("mcf")
+	opt := Options{
+		Config:       config.Table1(config.ModeIntegrityTree),
+		Workload:     p,
+		InstrPerCore: 1_000,
+		WarmupInstr:  99_000,
+		Seed:         1,
+	}
+	res, err := Run(opt)
+	if err != nil {
+		t.Fatalf("warmup-heavy run failed: %v", err)
+	}
+	if res.Cycles >= int64(opt.InstrPerCore)*400 {
+		t.Logf("run needed %d cycles, more than the old cap %d would allow",
+			res.Cycles, int64(opt.InstrPerCore)*400)
+	}
+}
+
+func TestIPCClampOnZeroWindow(t *testing.T) {
+	// A wide retire crossing warmup and the retirement target in the same
+	// cycle leaves a zero-cycle measurement window; the per-core IPC must
+	// be clamped (and flagged) instead of going +Inf, which encoding/json
+	// refuses to marshal — silently breaking harness checkpoints.
+	p, _ := trace.ByName("exchange2") // compute-bound: retires full-width
+	res, err := Run(Options{
+		Config:       config.Table1(config.ModeUnprotected),
+		Workload:     p,
+		InstrPerCore: 1,
+		WarmupInstr:  5,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IPCClamped {
+		t.Error("zero-window run not flagged as IPC-clamped")
+	}
+	for i, v := range res.PerCoreIPC {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Errorf("core %d IPC = %v", i, v)
+		}
+	}
+	if _, err := json.Marshal(res); err != nil {
+		t.Errorf("Result not JSON-marshalable: %v", err)
 	}
 }
 
