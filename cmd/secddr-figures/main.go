@@ -12,7 +12,8 @@
 //	secddr-figures -fig 6                  # full 29-workload run
 //	secddr-figures -fig all -quick         # smoke-scale everything
 //	secddr-figures -fig 10 -workloads mcf,lbm,pr
-//	secddr-figures -fig all -checkpoint figs.ckpt.json   # resumable
+//	secddr-figures -fig all -store figs.store       # resumable (segment store)
+//	secddr-figures -fig all -checkpoint figs.ckpt.json   # resumable (legacy file)
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"strings"
 
 	"secddr/internal/experiments"
+	"secddr/internal/resultstore"
 )
 
 func main() {
@@ -39,7 +41,8 @@ func run() error {
 		warmup     = flag.Uint64("warmup", 0, "override warmup instructions per core")
 		workloads  = flag.String("workloads", "", "comma-separated workload subset")
 		workers    = flag.Int("workers", 0, "parallel simulations (default NumCPU-1)")
-		checkpoint = flag.String("checkpoint", "", "resumable result cache shared across figures (see secddr-sweep)")
+		checkpoint = flag.String("checkpoint", "", "legacy JSON result cache shared across figures (see secddr-sweep)")
+		storeDir   = flag.String("store", "", "segment result store directory (preferred cache backend; overrides -checkpoint)")
 	)
 	flag.Parse()
 
@@ -58,6 +61,14 @@ func run() error {
 	}
 	scale.Workers = *workers
 	scale.Checkpoint = *checkpoint
+	if *storeDir != "" {
+		store, err := resultstore.Open(*storeDir, resultstore.Options{})
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		scale.Store = store
+	}
 
 	want := func(f string) bool { return *fig == "all" || *fig == f }
 

@@ -1,0 +1,107 @@
+// Command secddr-serve is the campaign service daemon: an HTTP server
+// that accepts sweep specifications, runs them on a shared bounded
+// simulation pool with in-flight deduplication, persists every point in
+// an append-only result store, and streams results to clients as points
+// finish. Many clients can query and extend one store concurrently; an
+// identical grid re-submitted later is served without simulating.
+//
+// Usage:
+//
+//	secddr-serve                                  # :8080, store in ./secddr-store
+//	secddr-serve -addr 127.0.0.1:0 -store /var/lib/secddr -workers 8
+//	secddr-serve -migrate-checkpoint secddr-sweep.ckpt.json   # import legacy cache
+//
+// Submit work with secddr-sweep -server http://HOST:PORT, or directly:
+//
+//	curl -s localhost:8080/v1/sweeps -d '{"modes":["secddr+ctr"],"workloads":["mcf"],"quick":true}'
+//	curl -s localhost:8080/v1/sweeps/sweep-000001/results   # NDJSON stream
+//	curl -s localhost:8080/metrics
+//
+// See README.md for the full quickstart and DESIGN.md for the design.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"secddr/internal/resultstore"
+	"secddr/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "secddr-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address (port 0 picks a free port)")
+		storeDir = flag.String("store", "secddr-store", "result store directory (created if missing)")
+		workers  = flag.Int("workers", 0, "max concurrent simulations across all sweeps (default GOMAXPROCS)")
+		migrate  = flag.String("migrate-checkpoint", "", "import a legacy checkpoint-v1 JSON file into the store at startup")
+		addrFile = flag.String("addr-file", "", "write the server's base URL to this file once listening (for scripts)")
+	)
+	flag.Parse()
+
+	store, err := resultstore.Open(*storeDir, resultstore.Options{})
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	if *migrate != "" {
+		n, err := resultstore.MigrateCheckpoint(*migrate, store)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "secddr-serve: migrated %d checkpoint entries into %s\n", n, *storeDir)
+	}
+
+	// SIGINT/SIGTERM stop new simulations; in-flight points finish and
+	// reach the store before exit (the store appends per point).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := service.NewServer(store, service.ServerOptions{Workers: *workers, BaseContext: ctx})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	baseURL := "http://" + ln.Addr().String()
+	fmt.Fprintf(os.Stderr, "secddr-serve: listening on %s (store %s)\n", baseURL, *storeDir)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(baseURL+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "secddr-serve: shutting down (in-flight simulations may take a moment)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	// No handler can submit sweeps anymore; wait for the background ones
+	// so every in-flight simulation's result reaches the store (the
+	// deferred Close seals it only after this returns).
+	srv.Drain()
+	return nil
+}

@@ -1,11 +1,15 @@
 // Command secddr-sweep runs user-defined simulation campaigns — arbitrary
-// workload x mode grids, not just the paper's fixed figures — on the
-// parallel harness, with machine-readable output and resumable caching.
+// workload x mode grids, not just the paper's fixed figures — locally on
+// the parallel harness or remotely against a secddr-serve daemon, with
+// machine-readable output and persistent result caching.
 //
-// Points are cached in a JSON checkpoint keyed by a digest of the full
-// simulation options, so re-running a sweep (or widening its grid) only
-// executes the points that are new; an interrupted sweep resumes where it
-// stopped. Pass -checkpoint "" to disable caching.
+// Points are cached by a digest of the full simulation options, so
+// re-running a sweep (or widening its grid) only executes the points that
+// are new, and an interrupted sweep (Ctrl-C flushes completed points)
+// resumes where it stopped. Three cache backends: -store names a segment
+// result store (O(point) appends, safe to share between processes), the
+// default -checkpoint names a legacy v1 JSON file, and -server submits the
+// grid to a daemon whose store is shared by every client.
 //
 // Usage:
 //
@@ -14,20 +18,23 @@
 //	    -out results.json -csv results.csv
 //	secddr-sweep -modes all -instr 500000 -warmup 200000 -seed 7 -seed-per-job
 //	secddr-sweep -modes secddr+ctr,integrity-tree -channels 4   # multi-channel DDR4
+//	secddr-sweep -store sweeps.store -modes all                 # segment store backend
+//	secddr-sweep -server http://127.0.0.1:8080 -quick           # remote execution
 //
 // See README.md for more examples and DESIGN.md for the harness design.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"os/signal"
+	"syscall"
 
-	"secddr/internal/config"
-	"secddr/internal/experiments"
 	"secddr/internal/harness"
-	"secddr/internal/trace"
+	"secddr/internal/resultstore"
+	"secddr/internal/service"
 )
 
 func main() {
@@ -48,57 +55,63 @@ func run() error {
 		seed       = flag.Uint64("seed", 42, "base workload seed")
 		seedPerJob = flag.Bool("seed-per-job", false, "derive a distinct deterministic seed per grid point")
 		workers    = flag.Int("workers", 0, "parallel simulations (default GOMAXPROCS)")
-		checkpoint = flag.String("checkpoint", "secddr-sweep.ckpt.json", `resumable result cache (empty string disables)`)
+		storeDir   = flag.String("store", "", "segment result store directory (preferred backend; overrides -checkpoint)")
+		checkpoint = flag.String("checkpoint", "secddr-sweep.ckpt.json", `legacy JSON result cache (empty string disables caching)`)
+		server     = flag.String("server", "", "submit the sweep to a secddr-serve URL instead of simulating locally")
 		out        = flag.String("out", "", "write results as JSON to this file (- for stdout)")
 		csvOut     = flag.String("csv", "", "write results as CSV to this file (- for stdout)")
 	)
 	flag.Parse()
 
-	scale := experiments.DefaultScale()
-	if *quick {
-		scale = experiments.QuickScale()
-	}
-	if *instr > 0 {
-		scale.InstrPerCore = *instr
-	}
-	if *warmup > 0 {
-		scale.WarmupInstr = *warmup
-	}
-
-	configs, err := parseModes(*modes)
-	if err != nil {
-		return err
-	}
-	if *channels > 0 {
-		// Channel-interleaved multi-channel sweeps: the override is applied
-		// to every grid point and re-normalized, so derived fields (burst
-		// beats, timing) stay consistent; config validation rejects
-		// non-power-of-two counts.
-		for i := range configs {
-			configs[i].Config.DRAM.Channels = *channels
-			configs[i].Config.Normalize()
-		}
-	}
-	profiles, err := parseWorkloads(*workloads)
-	if err != nil {
-		return err
-	}
-
-	grid := harness.Grid{
-		Workloads:    profiles,
-		Configs:      configs,
-		InstrPerCore: scale.InstrPerCore,
-		WarmupInstr:  scale.WarmupInstr,
-		Seed:         *seed,
+	spec := service.Spec{
+		Modes:        service.ParseList(*modes),
+		Workloads:    service.ParseList(*workloads),
+		Quick:        *quick,
+		InstrPerCore: *instr,
+		WarmupInstr:  *warmup,
+		Seed:         seed, // always explicit from the flag, 0 included
 		SeedPerJob:   *seedPerJob,
+		Channels:     *channels,
 	}
-	outs, stats, err := harness.Run(harness.Campaign{
-		Jobs:       grid.Jobs(),
-		Workers:    *workers,
-		Checkpoint: *checkpoint,
-	})
-	if err != nil {
-		return err
+
+	// Ctrl-C stops dispatching; completed points are already flushed to
+	// the cache backend, so the interrupted sweep resumes where it stopped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var (
+		outs  []harness.Outcome
+		stats harness.Stats
+	)
+	if *server != "" {
+		cl := &service.Client{BaseURL: *server}
+		var err error
+		outs, stats, err = cl.RunRemote(ctx, spec, nil)
+		if err != nil {
+			return err
+		}
+	} else {
+		grid, err := spec.Grid()
+		if err != nil {
+			return err
+		}
+		campaign := harness.Campaign{
+			Jobs:       grid.Jobs(),
+			Workers:    *workers,
+			Checkpoint: *checkpoint,
+		}
+		if *storeDir != "" {
+			store, err := resultstore.Open(*storeDir, resultstore.Options{})
+			if err != nil {
+				return err
+			}
+			defer store.Close()
+			campaign.Store = store
+		}
+		outs, stats, err = harness.RunContext(ctx, campaign)
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Fprintf(os.Stderr, "secddr-sweep: %d points: %d executed, %d cached, %d deduped\n",
 		stats.Total, stats.Executed, stats.Cached, stats.Deduped)
@@ -129,43 +142,4 @@ func emit(path string, fn func(*os.File) error) error {
 		return err
 	}
 	return f.Close()
-}
-
-// parseModes expands the -modes flag into labelled configurations.
-func parseModes(s string) ([]harness.NamedConfig, error) {
-	switch s {
-	case "fig6":
-		return experiments.Fig6Configs(), nil
-	case "all":
-		var out []harness.NamedConfig
-		for m := config.ModeIntegrityTree; m <= config.ModeUnprotected; m++ {
-			out = append(out, harness.NamedConfig{Label: m.String(), Config: config.Table1(m)})
-		}
-		return out, nil
-	}
-	var out []harness.NamedConfig
-	for _, name := range strings.Split(s, ",") {
-		m, err := config.ParseMode(strings.TrimSpace(name))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, harness.NamedConfig{Label: m.String(), Config: config.Table1(m)})
-	}
-	return out, nil
-}
-
-// parseWorkloads expands the -workloads flag into profiles.
-func parseWorkloads(s string) ([]trace.Profile, error) {
-	if s == "all" {
-		return trace.Profiles(), nil
-	}
-	var out []trace.Profile
-	for _, name := range strings.Split(s, ",") {
-		p, ok := trace.ByName(strings.TrimSpace(name))
-		if !ok {
-			return nil, fmt.Errorf("unknown workload %q (see secddr-sim -list)", name)
-		}
-		out = append(out, p)
-	}
-	return out, nil
 }

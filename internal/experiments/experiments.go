@@ -31,9 +31,12 @@ type Scale struct {
 	Workers      int
 	Workloads    []string // nil = all 29
 
-	// Checkpoint, when non-empty, names the harness's persistent result
-	// cache: figure re-runs skip every already-computed point and
-	// interrupted sweeps resume (see internal/harness).
+	// Store, when non-nil, is the harness's persistent result cache:
+	// figure re-runs skip every already-computed point and interrupted
+	// sweeps resume (see internal/harness and internal/resultstore).
+	Store harness.Store
+	// Checkpoint is the legacy single-file alternative to Store (used
+	// when Store is nil; see harness.Campaign).
 	Checkpoint string
 
 	// footprintOverride, when nonzero, replaces every profile's cold
@@ -100,6 +103,7 @@ func (s Scale) runGrid(profiles []trace.Profile, configs []namedConfig) (map[str
 	outs, _, err := harness.Run(harness.Campaign{
 		Jobs:       grid.Jobs(),
 		Workers:    s.workers(),
+		Store:      s.Store,
 		Checkpoint: s.Checkpoint,
 	})
 	if err != nil {

@@ -1,12 +1,14 @@
 package harness
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
 
+	"secddr/internal/flock"
 	"secddr/internal/sim"
 )
 
@@ -21,34 +23,44 @@ type checkpointFile struct {
 	Entries map[string]sim.Result `json:"entries"`
 }
 
-// checkpoint is the in-memory persistent cache behind a campaign. An empty
-// path makes every method a cheap no-op (memory-only campaign). It has its
-// own lock so workers flushing results to disk never serialize the result
-// collection done under the campaign's mutex.
+// checkpoint is the legacy v1 persistent cache behind a campaign: one JSON
+// file rewritten in full on every record, O(table) bytes per flush. It
+// satisfies Store; internal/resultstore is the O(point) replacement. An
+// empty path makes every method a cheap no-op (memory-only campaign). It
+// has its own lock so workers flushing results to disk never serialize the
+// result collection done under the campaign's mutex.
 type checkpoint struct {
 	path string
 
 	mu      sync.Mutex
 	entries map[string]sim.Result
-	// lastWrite fingerprints the file as we last wrote (or loaded) it, so
-	// mergeFromDisk can skip re-reading when no other process touched it —
-	// the overwhelmingly common single-process case.
+	// lastWrite fingerprints the file content as we last wrote (or loaded)
+	// it, so mergeFromDisk can skip re-decoding when no other process
+	// touched it — the overwhelmingly common single-process case.
 	lastWrite fileStamp
 }
 
-// fileStamp is a cheap change fingerprint for the checkpoint file.
+// checkpoint implements Store (see harness.go).
+var _ Store = (*checkpoint)(nil)
+
+// fileStamp is a change fingerprint for the checkpoint file. It is a
+// content hash, not a (size, mtime) pair: a peer's flush can leave both
+// size and coarse-granularity mtime unchanged, and a stamp that trusted
+// them would make mergeFromDisk skip a real change and then overwrite it.
 type fileStamp struct {
-	size    int64
-	modTime int64 // ns
-	valid   bool
+	sum   [sha256.Size]byte
+	valid bool
 }
 
-func stampOf(path string) fileStamp {
-	fi, err := os.Stat(path)
-	if err != nil {
-		return fileStamp{}
-	}
-	return fileStamp{size: fi.Size(), modTime: fi.ModTime().UnixNano(), valid: true}
+func stampOf(raw []byte) fileStamp {
+	return fileStamp{sum: sha256.Sum256(raw), valid: true}
+}
+
+// OpenCheckpoint opens (or starts) a legacy v1 JSON checkpoint as a Store.
+// New code should prefer resultstore.Open; this exists for existing sweep
+// files and for the checkpoint-v1 migrator.
+func OpenCheckpoint(path string) (Store, error) {
+	return loadCheckpoint(path)
 }
 
 // loadCheckpoint reads an existing checkpoint, or starts an empty one. A
@@ -76,31 +88,37 @@ func loadCheckpoint(path string) (*checkpoint, error) {
 	if f.Entries != nil {
 		ck.entries = f.Entries
 	}
-	ck.lastWrite = stampOf(path)
+	ck.lastWrite = stampOf(raw)
 	return ck, nil
 }
 
-// lookup returns the cached result for a digest, if present.
-func (c *checkpoint) lookup(digest string) (sim.Result, bool) {
+// Lookup returns the cached result for a digest, if present.
+func (c *checkpoint) Lookup(digest string) (sim.Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	res, ok := c.entries[digest]
 	return res, ok
 }
 
-// record stores a fresh result and, when the checkpoint is backed by a
+// Record stores a fresh result and, when the checkpoint is backed by a
 // file, flushes the table with an atomic rename so an interrupted sweep
-// never leaves a torn file behind. Before writing it merges entries another
-// process may have added to the file since we loaded it (ours win), so
-// concurrent sweeps sharing a checkpoint cooperate instead of overwriting
-// each other's results.
-func (c *checkpoint) record(digest string, res sim.Result) error {
+// never leaves a torn file behind. The whole merge-and-rewrite runs under
+// an exclusive flock on path+".lock", and before writing it folds in
+// entries another process added to the file since our last flush (ours
+// win), so concurrent sweeps sharing a checkpoint cooperate instead of
+// overwriting each other's results.
+func (c *checkpoint) Record(digest string, res sim.Result) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.entries[digest] = res
 	if c.path == "" {
 		return nil
 	}
+	release, err := flock.Lock(c.path + ".lock")
+	if err != nil {
+		return fmt.Errorf("harness: locking checkpoint: %w", err)
+	}
+	defer release()
 	c.mergeFromDisk()
 	raw, err := json.Marshal(checkpointFile{Version: checkpointVersion, Entries: c.entries})
 	if err != nil {
@@ -123,21 +141,24 @@ func (c *checkpoint) record(digest string, res sim.Result) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("harness: writing checkpoint: %w", err)
 	}
-	c.lastWrite = stampOf(c.path)
+	c.lastWrite = stampOf(raw)
 	return nil
 }
 
 // mergeFromDisk folds in entries a concurrent process has persisted since
-// our last write; our own entries win. The stat short-circuit keeps the
-// single-process case to one Stat per flush. Read or decode failures are
-// ignored — the file was validated at load time, and losing a peer's
-// in-flight points only costs re-simulation, never correctness.
+// our last write; our own entries win. The caller holds the flock, so the
+// read sees a settled file. The content-hash short-circuit skips the JSON
+// decode (the expensive part) in the single-process case without ever
+// trusting size+mtime, which a peer's write can leave unchanged. Read or
+// decode failures are ignored — the file was validated at load time, and
+// losing a peer's in-flight points only costs re-simulation, never
+// correctness.
 func (c *checkpoint) mergeFromDisk() {
-	if s := stampOf(c.path); s == c.lastWrite {
-		return
-	}
 	raw, err := os.ReadFile(c.path)
 	if err != nil {
+		return
+	}
+	if s := stampOf(raw); s == c.lastWrite {
 		return
 	}
 	var f checkpointFile

@@ -19,6 +19,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
@@ -29,6 +30,22 @@ import (
 	"secddr/internal/sim"
 	"secddr/internal/trace"
 )
+
+// Store is a persistent digest-keyed result cache behind a campaign.
+// Lookup returns the recorded result for a digest, if any; Record persists
+// a fresh result. Implementations must be safe for concurrent use: the
+// worker pool records results from many goroutines, and several processes
+// may share one store. Caching through a Store is sound for the same reason
+// the in-batch dedup is: equal digests imply byte-identical results
+// (sim.Options.Digest covers everything result-relevant).
+//
+// Two backends exist: the legacy single-file JSON checkpoint in this
+// package (O(table) bytes per flush) and internal/resultstore's append-only
+// segment log (O(point) per flush, the default for new code).
+type Store interface {
+	Lookup(digest string) (sim.Result, bool)
+	Record(digest string, res sim.Result) error
+}
 
 // Job is one simulation point of a campaign.
 type Job struct {
@@ -103,10 +120,14 @@ type Campaign struct {
 	Jobs []Job
 	// Workers bounds the pool; <= 0 means GOMAXPROCS.
 	Workers int
-	// Checkpoint, when non-empty, names a JSON file used as a persistent
-	// result cache: points already recorded there are skipped, and each new
-	// result is flushed (atomic rename) as it completes, so an interrupted
-	// campaign resumes from where it stopped.
+	// Store, when non-nil, is the persistent result cache: points already
+	// recorded there are skipped, and each new result is recorded as it
+	// completes, so an interrupted campaign resumes from where it stopped.
+	// It takes precedence over Checkpoint.
+	Store Store
+	// Checkpoint, when non-empty (and Store is nil), names a legacy v1 JSON
+	// checkpoint file used the same way. Kept for existing sweep files; new
+	// code should prefer a resultstore-backed Store.
 	Checkpoint string
 }
 
@@ -146,17 +167,30 @@ func Index(outs []Outcome) map[string]sim.Result {
 
 // Run executes the campaign and returns outcomes in job order. On a
 // simulation error it stops dispatching, waits for in-flight work (whose
-// results still reach the checkpoint), and returns the first error.
+// results still reach the store), and returns the first error.
 func Run(c Campaign) ([]Outcome, Stats, error) {
+	return RunContext(context.Background(), c)
+}
+
+// RunContext is Run with cancellation. When ctx is cancelled the harness
+// stops dispatching new points, waits for in-flight simulations to finish
+// (their results still reach the store, so nothing already paid for is
+// lost and no write is torn), and returns ctx's error. secddr-sweep and
+// secddr-serve wire SIGINT to this.
+func RunContext(ctx context.Context, c Campaign) ([]Outcome, Stats, error) {
 	stats := Stats{Total: len(c.Jobs)}
 
-	ckpt, err := loadCheckpoint(c.Checkpoint)
-	if err != nil {
-		return nil, stats, err
+	store := c.Store
+	if store == nil {
+		ckpt, err := loadCheckpoint(c.Checkpoint)
+		if err != nil {
+			return nil, stats, err
+		}
+		store = ckpt
 	}
 
 	// Resolve each job to a digest; schedule one execution per distinct
-	// digest that the checkpoint cannot satisfy.
+	// digest that the store cannot satisfy.
 	digests := make([]string, len(c.Jobs))
 	cached := make(map[string]sim.Result)
 	pending := make(map[string]sim.Options)
@@ -165,7 +199,11 @@ func Run(c Campaign) ([]Outcome, Stats, error) {
 	for i, j := range c.Jobs {
 		d := j.Opt.Digest()
 		digests[i] = d
-		if res, ok := ckpt.lookup(d); ok {
+		if _, seen := cached[d]; seen {
+			stats.Cached++
+			continue
+		}
+		if res, ok := store.Lookup(d); ok {
 			cached[d] = res
 			stats.Cached++
 			continue
@@ -178,7 +216,6 @@ func Run(c Campaign) ([]Outcome, Stats, error) {
 		keyOf[d] = j.Key
 		order = append(order, d)
 	}
-	stats.Executed = len(order)
 
 	executed := make(map[string]sim.Result, len(order))
 	var (
@@ -194,9 +231,9 @@ func Run(c Campaign) ([]Outcome, Stats, error) {
 			for d := range ch {
 				res, err := sim.Run(pending[d])
 				if err == nil {
-					// The checkpoint has its own lock, so disk flushes never
+					// The store has its own lock, so disk flushes never
 					// serialize result collection under mu.
-					err = ckpt.record(d, res)
+					err = store.Record(d, res)
 				}
 				mu.Lock()
 				if err != nil {
@@ -218,12 +255,21 @@ dispatch:
 		if failed {
 			break dispatch
 		}
-		ch <- d
+		select {
+		case ch <- d:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(ch)
 	wg.Wait()
+	stats.Executed = len(executed)
 	if firstErr != nil {
 		return nil, stats, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, fmt.Errorf("harness: campaign interrupted (%d/%d points recorded): %w",
+			stats.Cached+len(executed), stats.Total, err)
 	}
 
 	outs := make([]Outcome, len(c.Jobs))

@@ -1,0 +1,176 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"secddr/internal/config"
+	"secddr/internal/resultstore"
+	"secddr/internal/sim"
+)
+
+// The segment store must satisfy the campaign Store contract.
+var _ Store = (*resultstore.Store)(nil)
+
+// TestStoreBackedCampaign runs the cache-hit/skip contract against the
+// resultstore backend instead of the legacy checkpoint.
+func TestStoreBackedCampaign(t *testing.T) {
+	st, err := resultstore.Open(filepath.Join(t.TempDir(), "store"), resultstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	c := Campaign{Jobs: tinyGrid().Jobs(), Store: st}
+
+	if _, stats, err := Run(c); err != nil {
+		t.Fatal(err)
+	} else if stats.Executed != 4 || stats.Cached != 0 {
+		t.Fatalf("first run stats = %+v, want 4 executed", stats)
+	}
+	outs, stats, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Executed != 0 || stats.Cached != 4 {
+		t.Fatalf("second run stats = %+v, want 4 cached / 0 executed", stats)
+	}
+	for _, o := range outs {
+		if !o.Cached {
+			t.Errorf("outcome %q not served from store", o.Key)
+		}
+	}
+}
+
+// TestRunContextCancel: a cancelled campaign must stop dispatching, keep
+// every completed point in the store, and report the interruption.
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: nothing may dispatch
+	st, err := resultstore.Open(filepath.Join(t.TempDir(), "store"), resultstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	if _, stats, err := RunContext(ctx, Campaign{Jobs: tinyGrid().Jobs(), Store: st}); err == nil {
+		t.Fatal("cancelled campaign reported success")
+	} else if stats.Executed != 0 {
+		t.Fatalf("cancelled-before-dispatch campaign executed %d points", stats.Executed)
+	}
+
+	// A campaign cancelled mid-flight still returns an error, and whatever
+	// finished is in the store for the resumed run to reuse.
+	jobs := tinyGrid().Jobs()
+	if _, _, err := Run(Campaign{Jobs: jobs[:1], Store: st}); err != nil {
+		t.Fatal(err)
+	}
+	outs, stats, err := Run(Campaign{Jobs: jobs, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cached != 1 || stats.Executed != 3 {
+		t.Fatalf("resumed run stats = %+v, want 1 cached / 3 executed", stats)
+	}
+	if !outs[0].Cached {
+		t.Error("point completed before interruption was re-simulated")
+	}
+}
+
+// TestConcurrentCheckpointsSamePath is the legacy-backend half of the
+// multi-process cooperation contract (run under -race): two checkpoints
+// flushing to one file must never lose each other's results — this is
+// what the flock + content-hash stamp in Record guarantee.
+func TestConcurrentCheckpointsSamePath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shared.ckpt.json")
+	a, err := loadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res := sim.Result{Workload: "w", Mode: config.ModeUnprotected, IPC: 1}
+	const n = 50
+	var wg sync.WaitGroup
+	for w, ck := range map[int]*checkpoint{0: a, 1: b} {
+		wg.Add(1)
+		go func(w int, ck *checkpoint) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if err := ck.Record(fmt.Sprintf("d%d-%d", w, i), res); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w, ck)
+	}
+	wg.Wait()
+
+	final, err := loadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 2; w++ {
+		for i := 0; i < n; i++ {
+			if _, ok := final.Lookup(fmt.Sprintf("d%d-%d", w, i)); !ok {
+				t.Fatalf("entry d%d-%d lost in concurrent checkpoint flushes", w, i)
+			}
+		}
+	}
+}
+
+// BenchmarkStoreFlush contrasts the cost of persisting one fresh point
+// once 500 are already recorded: the legacy checkpoint rewrites the whole
+// table (O(table) bytes per flush), the segment store appends one line
+// (O(point)). This is the acceptance benchmark for the resultstore PR.
+func BenchmarkStoreFlush(b *testing.B) {
+	res := sim.Result{
+		Workload:   "mcf",
+		Mode:       config.ModeSecDDRCTR,
+		IPC:        1.5,
+		PerCoreIPC: []float64{0.4, 0.4, 0.35, 0.35},
+	}
+	const preload = 500
+
+	b.Run("checkpoint-v1", func(b *testing.B) {
+		ck, err := loadCheckpoint(filepath.Join(b.TempDir(), "bench.ckpt.json"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < preload; i++ {
+			if err := ck.Record(fmt.Sprintf("pre%04d", i), res); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := ck.Record(fmt.Sprintf("new%08d", i), res); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("resultstore", func(b *testing.B) {
+		st, err := resultstore.Open(filepath.Join(b.TempDir(), "store"), resultstore.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		for i := 0; i < preload; i++ {
+			if err := st.Record(fmt.Sprintf("pre%04d", i), res); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := st.Record(fmt.Sprintf("new%08d", i), res); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,180 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"secddr/internal/harness"
+)
+
+// Client talks to a secddr-serve instance. The zero HTTPClient means
+// http.DefaultClient; BaseURL is e.g. "http://127.0.0.1:8080".
+type Client struct {
+	BaseURL    string
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.BaseURL, "/") + path
+}
+
+// decodeError surfaces the server's {"error": ...} body on non-2xx.
+func decodeError(resp *http.Response) error {
+	defer resp.Body.Close()
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
+		return fmt.Errorf("service: server: %s (HTTP %d)", e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("service: server returned HTTP %d", resp.StatusCode)
+}
+
+// Submit posts a sweep spec and returns the server's sweep handle.
+func (c *Client) Submit(ctx context.Context, spec Spec) (SubmitResponse, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return SubmitResponse{}, fmt.Errorf("service: encoding spec: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/sweeps"), bytes.NewReader(body))
+	if err != nil {
+		return SubmitResponse{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return SubmitResponse{}, fmt.Errorf("service: submitting sweep: %w", err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return SubmitResponse{}, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	var sub SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		return SubmitResponse{}, fmt.Errorf("service: decoding submit response: %w", err)
+	}
+	return sub, nil
+}
+
+// Status fetches a sweep's progress.
+func (c *Client) Status(ctx context.Context, id string) (SweepStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/sweeps/"+id), nil)
+	if err != nil {
+		return SweepStatus{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return SweepStatus{}, fmt.Errorf("service: fetching sweep status: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return SweepStatus{}, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	var st SweepStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return SweepStatus{}, fmt.Errorf("service: decoding sweep status: %w", err)
+	}
+	return st, nil
+}
+
+// StreamResults consumes the sweep's NDJSON result stream, invoking fn on
+// every outcome as the server completes it. It returns once the server
+// closes the stream (sweep finished) or fn errors.
+func (c *Client) StreamResults(ctx context.Context, id string, fn func(harness.Outcome) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/sweeps/"+id+"/results"), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return fmt.Errorf("service: streaming results: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var o harness.Outcome
+		if err := json.Unmarshal(line, &o); err != nil {
+			return fmt.Errorf("service: corrupt result line: %w", err)
+		}
+		if err := fn(o); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("service: result stream: %w", err)
+	}
+	return nil
+}
+
+// RunRemote submits a spec and blocks until the sweep completes, returning
+// outcomes in the deterministic local job order (the same order a local
+// run emits, so -server mode is a drop-in for the file emitters) plus the
+// server-side stats. It is the engine behind secddr-sweep -server.
+func (c *Client) RunRemote(ctx context.Context, spec Spec, progress func(done, total int)) ([]harness.Outcome, harness.Stats, error) {
+	grid, err := spec.Grid()
+	if err != nil {
+		return nil, harness.Stats{}, err
+	}
+	jobs := grid.Jobs()
+
+	sub, err := c.Submit(ctx, spec)
+	if err != nil {
+		return nil, harness.Stats{}, err
+	}
+	if sub.Total != len(jobs) {
+		return nil, harness.Stats{}, fmt.Errorf("service: server expanded %d jobs, client %d — version skew?", sub.Total, len(jobs))
+	}
+
+	byKey := make(map[string]harness.Outcome, sub.Total)
+	done := 0
+	err = c.StreamResults(ctx, sub.ID, func(o harness.Outcome) error {
+		byKey[o.Key] = o
+		done++
+		if progress != nil {
+			progress(done, sub.Total)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, harness.Stats{}, err
+	}
+
+	st, err := c.Status(ctx, sub.ID)
+	if err != nil {
+		return nil, harness.Stats{}, err
+	}
+	if st.State != string(stateDone) {
+		return nil, st.Stats, fmt.Errorf("service: sweep %s %s: %s", sub.ID, st.State, st.Error)
+	}
+
+	outs := make([]harness.Outcome, len(jobs))
+	for i, j := range jobs {
+		o, ok := byKey[j.Key]
+		if !ok {
+			return nil, st.Stats, fmt.Errorf("service: server returned no outcome for %q", j.Key)
+		}
+		outs[i] = o
+	}
+	return outs, st.Stats, nil
+}

@@ -1,0 +1,516 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+
+	"secddr/internal/harness"
+	"secddr/internal/resultstore"
+	"secddr/internal/sim"
+)
+
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ServerOptions tunes a sweep server. The zero value is usable.
+type ServerOptions struct {
+	// Workers bounds concurrent simulations across ALL sweeps (the shared
+	// pool); <= 0 means GOMAXPROCS (via harness.Campaign's default).
+	Workers int
+	// BaseContext, when non-nil, bounds the lifetime of background sweep
+	// execution: once it is cancelled no new simulation starts.
+	BaseContext context.Context
+}
+
+// Server runs sweep campaigns behind an HTTP API. All sweeps share one
+// result store, one bounded simulation pool, and one in-flight table: a
+// digest being simulated for any client is never simulated again for
+// another — late arrivals join the running flight (singleflight dedup).
+type Server struct {
+	store   harness.Store
+	sem     chan struct{}
+	baseCtx context.Context
+
+	// runSim is the simulation entry point; tests substitute a counting
+	// or blocking stub.
+	runSim func(sim.Options) (sim.Result, error)
+
+	mu       sync.Mutex
+	sweeps   map[string]*sweep
+	inflight map[string]*flight
+	nextID   int
+	running  sync.WaitGroup // one per background runSweep
+
+	// Cumulative counters served by /metrics.
+	simsExecuted int64 // simulations actually run
+	jobsCached   int64 // jobs served straight from the store
+	jobsDeduped  int64 // jobs that joined an in-flight or in-batch digest
+	sweepsTotal  int64
+	simsRunning  int // gauge: simulations currently executing
+}
+
+// flight is one in-progress simulation of a digest (singleflight cell).
+type flight struct {
+	done chan struct{} // closed when res/err are final
+	res  sim.Result
+	err  error
+}
+
+// NewServer builds a sweep server over a result store.
+func NewServer(store harness.Store, opt ServerOptions) *Server {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	base := opt.BaseContext
+	if base == nil {
+		base = context.Background()
+	}
+	return &Server{
+		store:    store,
+		sem:      make(chan struct{}, workers),
+		baseCtx:  base,
+		runSim:   sim.Run,
+		sweeps:   make(map[string]*sweep),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// sweepState is the lifecycle of one submitted sweep.
+type sweepState string
+
+const (
+	stateRunning sweepState = "running"
+	stateDone    sweepState = "done"
+	stateFailed  sweepState = "failed"
+)
+
+// sweep is one submitted campaign and its accumulating results.
+type sweep struct {
+	id    string
+	total int
+
+	mu      sync.Mutex
+	results []harness.Outcome // completion order; streamed as NDJSON
+	stats   harness.Stats
+	state   sweepState
+	errMsg  string
+	changed chan struct{} // closed and replaced on every mutation
+}
+
+// SweepStatus is the GET /v1/sweeps/{id} document.
+type SweepStatus struct {
+	ID    string        `json:"id"`
+	State string        `json:"state"` // running | done | failed
+	Total int           `json:"total"`
+	Done  int           `json:"done"`
+	Stats harness.Stats `json:"stats"`
+	Error string        `json:"error,omitempty"`
+}
+
+// SubmitResponse is the POST /v1/sweeps document.
+type SubmitResponse struct {
+	ID         string `json:"id"`
+	Total      int    `json:"total"`
+	StatusURL  string `json:"status_url"`
+	ResultsURL string `json:"results_url"`
+}
+
+// notifyLocked wakes every streamer waiting on this sweep.
+func (sw *sweep) notifyLocked() {
+	close(sw.changed)
+	sw.changed = make(chan struct{})
+}
+
+func (sw *sweep) status() SweepStatus {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return SweepStatus{
+		ID:    sw.id,
+		State: string(sw.state),
+		Total: sw.total,
+		Done:  len(sw.results),
+		Stats: sw.stats,
+		Error: sw.errMsg,
+	}
+}
+
+// Submit validates a spec, registers the sweep, and starts executing it
+// in the background. It returns immediately.
+func (s *Server) Submit(spec Spec) (*sweep, error) {
+	grid, err := spec.Grid()
+	if err != nil {
+		return nil, err
+	}
+	jobs := grid.Jobs()
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("service: sweep expands to zero jobs")
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	sw := &sweep{
+		id:      fmt.Sprintf("sweep-%06d", s.nextID),
+		total:   len(jobs),
+		state:   stateRunning,
+		changed: make(chan struct{}),
+	}
+	sw.stats.Total = len(jobs)
+	s.sweeps[sw.id] = sw
+	s.sweepsTotal++
+	s.running.Add(1)
+	s.mu.Unlock()
+
+	go func() {
+		defer s.running.Done()
+		s.runSweep(sw, jobs)
+	}()
+	return sw, nil
+}
+
+// Drain blocks until every submitted sweep has finished executing. Call
+// it after cancelling BaseContext (which stops new simulations) and
+// before closing the store, so results of in-flight simulations reach
+// the store instead of dying with the process.
+func (s *Server) Drain() { s.running.Wait() }
+
+// runSweep executes a sweep's jobs: store hits complete immediately, the
+// rest run on the shared pool with one flight per distinct digest.
+func (s *Server) runSweep(sw *sweep, jobs []harness.Job) {
+	// Group jobs by digest, preserving first-seen order.
+	type group struct {
+		opt  sim.Options
+		jobs []harness.Job
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, j := range jobs {
+		d := j.Opt.Digest()
+		g, ok := groups[d]
+		if !ok {
+			g = &group{opt: j.Opt}
+			groups[d] = g
+			order = append(order, d)
+		}
+		g.jobs = append(g.jobs, j)
+	}
+
+	var wg sync.WaitGroup
+	for _, d := range order {
+		g := groups[d]
+
+		// Store hit: every job of the digest completes right now.
+		if res, ok := s.store.Lookup(d); ok {
+			s.completeGroup(sw, d, g.jobs, res, true, len(g.jobs))
+			continue
+		}
+
+		wg.Add(1)
+		go func(d string, g *group) {
+			defer wg.Done()
+			res, how, err := s.runDigest(d, g.opt)
+			if err != nil {
+				sw.mu.Lock()
+				if sw.errMsg == "" {
+					sw.errMsg = fmt.Sprintf("%s: %v", g.jobs[0].Key, err)
+				}
+				sw.notifyLocked()
+				sw.mu.Unlock()
+				return
+			}
+			// The flight leader counts one execution (or a late store
+			// hit); every extra job — in-batch duplicates and joined
+			// flights alike — is a dedup.
+			cachedJobs := 0
+			switch how {
+			case ranSim:
+				deduped := len(g.jobs) - 1
+				s.addCounts(1, 0, int64(deduped))
+				sw.mu.Lock()
+				sw.stats.Executed++
+				sw.stats.Deduped += deduped
+				sw.mu.Unlock()
+			case joinedFlight:
+				s.addCounts(0, 0, int64(len(g.jobs)))
+				sw.mu.Lock()
+				sw.stats.Deduped += len(g.jobs)
+				sw.mu.Unlock()
+			case lateStoreHit:
+				cachedJobs = len(g.jobs)
+			}
+			s.completeGroup(sw, d, g.jobs, res, how != ranSim, cachedJobs)
+		}(d, g)
+	}
+	wg.Wait()
+
+	sw.mu.Lock()
+	if sw.errMsg != "" {
+		sw.state = stateFailed
+	} else {
+		sw.state = stateDone
+	}
+	sw.notifyLocked()
+	sw.mu.Unlock()
+}
+
+// completeGroup appends one outcome per job of a finished digest.
+// cachedJobs is the store-hit accounting (executed/joined digests were
+// already folded into the stats by the caller and pass 0).
+func (s *Server) completeGroup(sw *sweep, digest string, jobs []harness.Job, res sim.Result, cached bool, cachedJobs int) {
+	if cachedJobs > 0 {
+		s.addCounts(0, int64(cachedJobs), 0)
+	}
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.stats.Cached += cachedJobs
+	for _, j := range jobs {
+		sw.results = append(sw.results, harness.Outcome{
+			Key:      j.Key,
+			Workload: j.Opt.Workload.Name,
+			Mode:     j.Opt.Config.Security.Mode.String(),
+			Digest:   digest,
+			Cached:   cached,
+			Result:   res,
+		})
+	}
+	sw.notifyLocked()
+}
+
+func (s *Server) addCounts(executed, cached, deduped int64) {
+	s.mu.Lock()
+	s.simsExecuted += executed
+	s.jobsCached += cached
+	s.jobsDeduped += deduped
+	s.mu.Unlock()
+}
+
+// How a digest was satisfied by runDigest.
+const (
+	ranSim       = "ran"
+	joinedFlight = "joined"
+	lateStoreHit = "stored"
+)
+
+// runDigest produces the result for one digest, simulating at most once
+// across every concurrent sweep: the first caller becomes the flight
+// leader (registered before it even has a pool slot, so queued work
+// dedups too); later callers block on the flight and share its outcome.
+func (s *Server) runDigest(d string, opt sim.Options) (sim.Result, string, error) {
+	s.mu.Lock()
+	if f, ok := s.inflight[d]; ok {
+		s.mu.Unlock()
+		<-f.done
+		return f.res, joinedFlight, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[d] = f
+	s.mu.Unlock()
+
+	how := ranSim
+	f.res, f.err = func() (sim.Result, error) {
+		select {
+		case s.sem <- struct{}{}:
+		case <-s.baseCtx.Done():
+			return sim.Result{}, fmt.Errorf("service: server shutting down: %w", s.baseCtx.Err())
+		}
+		defer func() { <-s.sem }()
+		// Another sweep may have recorded the digest while we queued.
+		if res, ok := s.store.Lookup(d); ok {
+			how = lateStoreHit
+			return res, nil
+		}
+		s.mu.Lock()
+		s.simsRunning++
+		s.mu.Unlock()
+		res, err := s.runSim(opt)
+		s.mu.Lock()
+		s.simsRunning--
+		s.mu.Unlock()
+		if err == nil {
+			err = s.store.Record(d, res)
+		}
+		return res, err
+	}()
+
+	s.mu.Lock()
+	delete(s.inflight, d)
+	s.mu.Unlock()
+	close(f.done)
+	return f.res, how, f.err
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/sweeps              submit a Spec, 202 + SubmitResponse
+//	GET  /v1/sweeps/{id}         SweepStatus
+//	GET  /v1/sweeps/{id}/results NDJSON outcome stream (as points finish)
+//	GET  /v1/results/{digest}    one stored result
+//	GET  /healthz                liveness
+//	GET  /metrics                Prometheus-style counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /v1/results/{digest}", s.handleResult)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid sweep spec: %v", err)
+		return
+	}
+	sw, err := s.Submit(spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(SubmitResponse{
+		ID:         sw.id,
+		Total:      sw.total,
+		StatusURL:  "/v1/sweeps/" + sw.id,
+		ResultsURL: "/v1/sweeps/" + sw.id + "/results",
+	})
+}
+
+func (s *Server) lookupSweep(id string) (*sweep, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.sweeps[id]
+	return sw, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.lookupSweep(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such sweep %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(sw.status())
+}
+
+// handleResults streams the sweep's outcomes as NDJSON in completion
+// order, flushing per line, until the sweep is finished (or the client
+// goes away). A client that connects after completion gets everything.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.lookupSweep(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such sweep %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	next := 0
+	for {
+		sw.mu.Lock()
+		batch := sw.results[next:]
+		state := sw.state
+		changed := sw.changed
+		sw.mu.Unlock()
+
+		for _, o := range batch {
+			if err := enc.Encode(o); err != nil {
+				return // client gone
+			}
+		}
+		next += len(batch)
+		if flusher != nil && len(batch) > 0 {
+			flusher.Flush()
+		}
+		if state != stateRunning {
+			sw.mu.Lock()
+			drained := next == len(sw.results)
+			sw.mu.Unlock()
+			if drained {
+				return
+			}
+			continue
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	res, ok := s.store.Lookup(digest)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no result for digest %q", digest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Digest string     `json:"digest"`
+		Result sim.Result `json:"result"`
+	}{digest, res})
+}
+
+// handleMetrics serves Prometheus-style plain-text counters: scheduling
+// behaviour (simulations run, jobs deduped, jobs served from cache,
+// in-flight gauge) plus result-store size when the backend reports it.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	lines := map[string]int64{
+		"secddr_sweeps_total":        s.sweepsTotal,
+		"secddr_sweeps_active":       int64(s.countActiveLocked()),
+		"secddr_sims_executed_total": s.simsExecuted,
+		"secddr_jobs_cached_total":   s.jobsCached,
+		"secddr_jobs_deduped_total":  s.jobsDeduped,
+		"secddr_sims_running":        int64(s.simsRunning),
+		"secddr_digests_inflight":    int64(len(s.inflight)),
+		"secddr_pool_capacity":       int64(cap(s.sem)),
+	}
+	s.mu.Unlock()
+	if st, ok := s.store.(*resultstore.Store); ok {
+		stats := st.Stats()
+		lines["secddr_store_entries"] = int64(stats.Entries)
+		lines["secddr_store_segments"] = int64(stats.Segments)
+		lines["secddr_store_disk_bytes"] = stats.DiskBytes
+		lines["secddr_store_garbage_bytes"] = stats.GarbageBytes
+	}
+	names := make([]string, 0, len(lines))
+	for n := range lines {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, n := range names {
+		fmt.Fprintf(w, "%s %d\n", n, lines[n])
+	}
+}
+
+func (s *Server) countActiveLocked() int {
+	n := 0
+	for _, sw := range s.sweeps {
+		if sw.status().State == string(stateRunning) {
+			n++
+		}
+	}
+	return n
+}

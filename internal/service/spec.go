@@ -1,0 +1,157 @@
+// Package service exposes the campaign harness over HTTP: a sweep server
+// (secddr-serve) that accepts declarative grid specs, runs them on a
+// shared bounded worker pool with in-flight deduplication, persists every
+// point in a result store, and streams results to clients as they finish.
+// The Spec type is the wire format; Client is the matching Go client used
+// by secddr-sweep's -server mode. See DESIGN.md, "The campaign service".
+package service
+
+import (
+	"fmt"
+	"strings"
+
+	"secddr/internal/config"
+	"secddr/internal/experiments"
+	"secddr/internal/harness"
+	"secddr/internal/trace"
+)
+
+// Spec is a sweep request: a workload x mode grid plus scale overrides.
+// It is the JSON body of POST /v1/sweeps and the flag set of secddr-sweep
+// in both local and -server mode, so a grid submitted remotely expands to
+// exactly the same jobs — and therefore the same digests — as a local run.
+type Spec struct {
+	// Modes names the protection configurations: canonical mode names
+	// (see secddr-sim -list), "all", or "fig6" (the paper's five Fig. 6
+	// configurations). Empty means "fig6".
+	Modes []string `json:"modes,omitempty"`
+	// Workloads names the workload subset; empty or "all" means all 29.
+	Workloads []string `json:"workloads,omitempty"`
+
+	// Quick selects smoke scale (experiments.QuickScale) instead of
+	// figure-quality scale; InstrPerCore/WarmupInstr override either.
+	Quick        bool   `json:"quick,omitempty"`
+	InstrPerCore uint64 `json:"instr_per_core,omitempty"`
+	WarmupInstr  uint64 `json:"warmup_instr,omitempty"`
+
+	// Seed is the base workload seed; nil/omitted means the scale
+	// default (42). A pointer so an explicit seed of 0 stays expressible.
+	Seed *uint64 `json:"seed,omitempty"`
+	// SeedPerJob derives a distinct deterministic seed per grid point.
+	SeedPerJob bool `json:"seed_per_job,omitempty"`
+	// Channels, when > 0, overrides the DDR channel count on every mode
+	// (must be a power of two).
+	Channels int `json:"channels,omitempty"`
+}
+
+// Grid validates the spec against internal/config and internal/trace and
+// expands it to the harness grid. Every named mode must parse, every
+// workload must exist, and every resulting configuration must pass
+// config.Validate, so a malformed request fails before any simulation.
+func (sp Spec) Grid() (harness.Grid, error) {
+	configs, err := sp.configs()
+	if err != nil {
+		return harness.Grid{}, err
+	}
+	if sp.Channels > 0 {
+		if sp.Channels&(sp.Channels-1) != 0 {
+			return harness.Grid{}, fmt.Errorf("service: channels must be a power of two, got %d", sp.Channels)
+		}
+		// Re-normalize after the override so derived fields (burst beats,
+		// clock ratio) stay consistent.
+		for i := range configs {
+			configs[i].Config.DRAM.Channels = sp.Channels
+			configs[i].Config.Normalize()
+		}
+	}
+	for _, nc := range configs {
+		if err := nc.Config.Validate(); err != nil {
+			return harness.Grid{}, fmt.Errorf("service: config %q: %w", nc.Label, err)
+		}
+	}
+	profiles, err := sp.profiles()
+	if err != nil {
+		return harness.Grid{}, err
+	}
+
+	scale := experiments.DefaultScale()
+	if sp.Quick {
+		scale = experiments.QuickScale()
+	}
+	if sp.InstrPerCore > 0 {
+		scale.InstrPerCore = sp.InstrPerCore
+	}
+	if sp.WarmupInstr > 0 {
+		scale.WarmupInstr = sp.WarmupInstr
+	}
+	seed := scale.Seed
+	if sp.Seed != nil {
+		seed = *sp.Seed
+	}
+
+	return harness.Grid{
+		Workloads:    profiles,
+		Configs:      configs,
+		InstrPerCore: scale.InstrPerCore,
+		WarmupInstr:  scale.WarmupInstr,
+		Seed:         seed,
+		SeedPerJob:   sp.SeedPerJob,
+	}, nil
+}
+
+// configs expands Modes into labelled configurations.
+func (sp Spec) configs() ([]harness.NamedConfig, error) {
+	if len(sp.Modes) == 0 {
+		return experiments.Fig6Configs(), nil
+	}
+	var out []harness.NamedConfig
+	for _, name := range sp.Modes {
+		switch strings.TrimSpace(name) {
+		case "fig6":
+			out = append(out, experiments.Fig6Configs()...)
+		case "all":
+			for m := config.ModeIntegrityTree; m <= config.ModeUnprotected; m++ {
+				out = append(out, harness.NamedConfig{Label: m.String(), Config: config.Table1(m)})
+			}
+		default:
+			m, err := config.ParseMode(strings.TrimSpace(name))
+			if err != nil {
+				return nil, fmt.Errorf("service: %w", err)
+			}
+			out = append(out, harness.NamedConfig{Label: m.String(), Config: config.Table1(m)})
+		}
+	}
+	return out, nil
+}
+
+// profiles expands Workloads into trace profiles.
+func (sp Spec) profiles() ([]trace.Profile, error) {
+	if len(sp.Workloads) == 0 {
+		return trace.Profiles(), nil
+	}
+	var out []trace.Profile
+	for _, name := range sp.Workloads {
+		name = strings.TrimSpace(name)
+		if name == "all" {
+			return trace.Profiles(), nil
+		}
+		p, ok := trace.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("service: unknown workload %q (see secddr-sim -list)", name)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ParseList splits a comma-separated flag value into a Spec name list.
+func ParseList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}

@@ -7,7 +7,7 @@
 // per-rank transaction counters (E-MACs), and writes carry an encrypted
 // extended write CRC that lets the DRAM device reject misdirected writes.
 //
-// The module contains three independently usable layers, re-exported here:
+// The module contains four independently usable layers, re-exported here:
 //
 //   - The functional protocol (NewSystem): a bit-accurate SecDDR memory
 //     with real AES-CMAC MACs, counter-derived pads, eWCRC, SECDED, an
@@ -17,21 +17,30 @@
 //     every protection mode the paper evaluates.
 //   - The experiment harness: a generic campaign runner (RunCampaign) that
 //     executes workload x configuration grids on a bounded worker pool with
-//     digest-keyed result caching and resumable checkpoints, plus the
+//     digest-keyed result caching behind a pluggable Store, plus the
 //     declarative figure definitions (Fig6 .. Fig12, Table2) that regenerate
 //     each table and figure of the paper's evaluation on top of it.
+//   - The campaign service (OpenResultStore, SweepClient, cmd/secddr-serve):
+//     a concurrent append-only result store many processes share, and an
+//     HTTP daemon that runs submitted sweeps once — identical concurrent
+//     requests join one in-flight simulation — and streams results to
+//     every client.
 //
 // See examples/ for runnable entry points, README.md for the build and
 // figure-regeneration quickstart, and DESIGN.md for the system inventory.
 package secddr
 
 import (
+	"context"
+
 	"secddr/internal/analysis"
 	"secddr/internal/config"
 	"secddr/internal/core"
 	"secddr/internal/experiments"
 	"secddr/internal/harness"
 	"secddr/internal/protocol"
+	"secddr/internal/resultstore"
+	"secddr/internal/service"
 	"secddr/internal/sim"
 	"secddr/internal/trace"
 )
@@ -137,9 +146,45 @@ type CampaignOutcome = harness.Outcome
 // served from cache).
 type CampaignStats = harness.Stats
 
+// CampaignStore is the pluggable persistent result cache behind a
+// campaign (the legacy JSON checkpoint and the segment result store both
+// satisfy it).
+type CampaignStore = harness.Store
+
 // RunCampaign executes a campaign on the parallel harness, skipping points
-// the checkpoint has already computed.
+// its store has already computed.
 func RunCampaign(c Campaign) ([]CampaignOutcome, CampaignStats, error) { return harness.Run(c) }
+
+// RunCampaignContext is RunCampaign with cancellation: completed points
+// still reach the store, so an interrupted campaign resumes cleanly.
+func RunCampaignContext(ctx context.Context, c Campaign) ([]CampaignOutcome, CampaignStats, error) {
+	return harness.RunContext(ctx, c)
+}
+
+// --- Campaign service -----------------------------------------------------
+
+// ResultStore is a concurrent, digest-keyed, on-disk result store: an
+// append-only segment log with O(point) appends, crash-safe recovery, and
+// background compaction. See internal/resultstore.
+type ResultStore = resultstore.Store
+
+// OpenResultStore opens (creating if needed) a result store directory.
+func OpenResultStore(dir string) (*ResultStore, error) {
+	return resultstore.Open(dir, resultstore.Options{})
+}
+
+// MigrateCheckpoint imports a legacy checkpoint-v1 JSON file into a
+// result store (idempotent; the source file is left untouched).
+func MigrateCheckpoint(path string, s *ResultStore) (int, error) {
+	return resultstore.MigrateCheckpoint(path, s)
+}
+
+// SweepSpec is a declarative sweep request for the campaign service
+// (modes x workloads x scale overrides; the POST /v1/sweeps body).
+type SweepSpec = service.Spec
+
+// SweepClient talks to a secddr-serve daemon.
+type SweepClient = service.Client
 
 // Scale controls experiment length.
 type Scale = experiments.Scale
