@@ -17,6 +17,12 @@
 //	curl -s localhost:8080/v1/sweeps/sweep-000001/results   # NDJSON stream
 //	curl -s localhost:8080/metrics
 //
+// Execution scales out horizontally: any number of secddr-worker
+// processes may attach (-server URL) and pull leased jobs from the
+// daemon's queue. -workers -1 disables the in-process pool entirely, so
+// the daemon only coordinates the fleet (fleet-only mode); by default
+// the local pool and remote workers drain the same queue side by side.
+//
 // See README.md for the full quickstart and DESIGN.md for the design.
 package main
 
@@ -47,7 +53,7 @@ func run() error {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address (port 0 picks a free port)")
 		storeDir = flag.String("store", "secddr-store", "result store directory (created if missing)")
-		workers  = flag.Int("workers", 0, "max concurrent simulations across all sweeps (default GOMAXPROCS)")
+		workers  = flag.Int("workers", 0, "local simulation pool size (0 = GOMAXPROCS, negative = fleet-only: execute nothing locally, serve leases to secddr-worker processes)")
 		migrate  = flag.String("migrate-checkpoint", "", "import a legacy checkpoint-v1 JSON file into the store at startup")
 		addrFile = flag.String("addr-file", "", "write the server's base URL to this file once listening (for scripts)")
 	)
@@ -94,14 +100,20 @@ func run() error {
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(os.Stderr, "secddr-serve: shutting down (in-flight simulations may take a moment)")
+	// Stop execution first: no more leases go out, unacked remote jobs
+	// fail their sweeps immediately (instead of the shutdown stalling on
+	// workers that may never answer), and local in-flight simulations run
+	// to completion. This also wakes long-polling lease handlers so the
+	// HTTP shutdown below does not wait out their polls.
+	srv.Shutdown()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
 	// No handler can submit sweeps anymore; wait for the background ones
-	// so every in-flight simulation's result reaches the store (the
-	// deferred Close seals it only after this returns).
+	// so every in-flight simulation's result reaches the store, then let
+	// the deferred Close seal (flush) the store.
 	srv.Drain()
 	return nil
 }

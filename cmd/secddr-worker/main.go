@@ -1,0 +1,67 @@
+// Command secddr-worker is a fleet worker for the campaign service: it
+// attaches to a secddr-serve daemon, leases queued simulation jobs,
+// runs them on a local bounded pool, and streams results back. Start as
+// many workers as there are machines (or cores to donate) — the server's
+// queue hands each job to exactly one worker and reclaims leases from
+// workers that crash, so a SIGKILLed worker's jobs simply re-run
+// elsewhere and the sweep still completes with identical results.
+//
+// Usage:
+//
+//	secddr-worker -server http://127.0.0.1:8080
+//	secddr-worker -server http://sweep-host:8080 -workers 8 -lease-ttl 1m -id rack3-a
+//
+// SIGINT/SIGTERM drains gracefully: in-flight simulations finish and
+// upload, unstarted leases are released back to the queue, then the
+// process exits. See README.md for the fleet quickstart and DESIGN.md,
+// "The worker fleet", for the leasing protocol.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"secddr/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "secddr-worker:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		server   = flag.String("server", "", "secddr-serve base URL to attach to (required)")
+		workers  = flag.Int("workers", 0, "parallel simulations in this worker (default GOMAXPROCS)")
+		leaseTTL = flag.Duration("lease-ttl", 30*time.Second, "lease duration to request; the server reclaims jobs from workers silent this long")
+		id       = flag.String("id", "", "worker id shown in server metrics and logs (default host-pid)")
+	)
+	flag.Parse()
+	if *server == "" {
+		return fmt.Errorf("-server is required (e.g. -server http://127.0.0.1:8080)")
+	}
+
+	// SIGINT/SIGTERM: stop leasing, finish and upload in-flight points,
+	// release the rest, exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	w := &service.Worker{
+		Client:   &service.Client{BaseURL: *server},
+		ID:       *id,
+		Workers:  *workers,
+		LeaseTTL: *leaseTTL,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "secddr-worker: "+format+"\n", args...)
+		},
+	}
+	fmt.Fprintf(os.Stderr, "secddr-worker: attaching to %s\n", *server)
+	return w.Run(ctx)
+}

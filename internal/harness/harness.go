@@ -129,6 +129,16 @@ type Campaign struct {
 	// checkpoint file used the same way. Kept for existing sweep files; new
 	// code should prefer a resultstore-backed Store.
 	Checkpoint string
+	// Sim is the simulation entry point; nil means sim.Run. The campaign
+	// service's worker daemon and the tests substitute stubs.
+	Sim func(sim.Options) (sim.Result, error)
+	// OnError, when non-nil, observes each individual simulation failure
+	// (digest, error) from the worker goroutine that hit it, in addition to
+	// the campaign aborting with the first error. The fleet worker uses it
+	// to report the failing point to the server while releasing the rest of
+	// its lease batch; Store.Record failures are not reported here (they
+	// are the caller's storage, not the point's fate).
+	OnError func(digest string, err error)
 }
 
 func (c Campaign) workers() int {
@@ -217,6 +227,10 @@ func RunContext(ctx context.Context, c Campaign) ([]Outcome, Stats, error) {
 		order = append(order, d)
 	}
 
+	run := c.Sim
+	if run == nil {
+		run = sim.Run
+	}
 	executed := make(map[string]sim.Result, len(order))
 	var (
 		mu       sync.Mutex
@@ -229,7 +243,10 @@ func RunContext(ctx context.Context, c Campaign) ([]Outcome, Stats, error) {
 		go func() {
 			defer wg.Done()
 			for d := range ch {
-				res, err := sim.Run(pending[d])
+				res, err := run(pending[d])
+				if err != nil && c.OnError != nil {
+					c.OnError(d, err)
+				}
 				if err == nil {
 					// The store has its own lock, so disk flushes never
 					// serialize result collection under mu.

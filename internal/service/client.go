@@ -43,6 +43,65 @@ func decodeError(resp *http.Response) error {
 	return fmt.Errorf("service: server returned HTTP %d", resp.StatusCode)
 }
 
+// postJSON posts body to path and decodes a 200/202 JSON answer into out.
+func (c *Client) postJSON(ctx context.Context, path string, body, out any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("service: encoding request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url(path), bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return fmt.Errorf("service: %s: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return decodeError(resp)
+	}
+	defer resp.Body.Close()
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("service: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// Lease asks the server for a batch of jobs (see LeaseRequest). An empty
+// batch with a nil error means the long-poll elapsed idle.
+func (c *Client) Lease(ctx context.Context, req LeaseRequest) (LeaseResponse, error) {
+	var resp LeaseResponse
+	err := c.postJSON(ctx, "/v1/jobs/lease", req, &resp)
+	return resp, err
+}
+
+// PostResult acks one leased digest with its result or error. A false
+// return with nil error means the server idempotently ignored the upload
+// (double ack or reclaimed lease).
+func (c *Client) PostResult(ctx context.Context, digest string, up ResultUpload) (bool, error) {
+	var ack AckResponse
+	err := c.postJSON(ctx, "/v1/jobs/"+digest+"/result", up, &ack)
+	return ack.Accepted, err
+}
+
+// Release returns an unrun lease to the queue.
+func (c *Client) Release(ctx context.Context, digest, workerID string) (bool, error) {
+	var ack AckResponse
+	err := c.postJSON(ctx, "/v1/jobs/"+digest+"/release", ReleaseRequest{WorkerID: workerID}, &ack)
+	return ack.Accepted, err
+}
+
+// Heartbeat extends the worker's leases on the given digests.
+func (c *Client) Heartbeat(ctx context.Context, workerID string, digests []string) (int, error) {
+	var resp HeartbeatResponse
+	err := c.postJSON(ctx, "/v1/workers/heartbeat", HeartbeatRequest{WorkerID: workerID, Digests: digests}, &resp)
+	return resp.Held, err
+}
+
 // Submit posts a sweep spec and returns the server's sweep handle.
 func (c *Client) Submit(ctx context.Context, spec Spec) (SubmitResponse, error) {
 	body, err := json.Marshal(spec)

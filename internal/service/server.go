@@ -7,7 +7,9 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"secddr/internal/harness"
 	"secddr/internal/resultstore"
@@ -18,8 +20,10 @@ func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // ServerOptions tunes a sweep server. The zero value is usable.
 type ServerOptions struct {
-	// Workers bounds concurrent simulations across ALL sweeps (the shared
-	// pool); <= 0 means GOMAXPROCS (via harness.Campaign's default).
+	// Workers sizes the in-process execution pool (the LocalExecutor):
+	// 0 means GOMAXPROCS, a negative value disables local execution
+	// entirely — the server then only queues work for remote
+	// secddr-worker processes (fleet-only mode).
 	Workers int
 	// BaseContext, when non-nil, bounds the lifetime of background sweep
 	// execution: once it is cancelled no new simulation starts.
@@ -27,13 +31,17 @@ type ServerOptions struct {
 }
 
 // Server runs sweep campaigns behind an HTTP API. All sweeps share one
-// result store, one bounded simulation pool, and one in-flight table: a
-// digest being simulated for any client is never simulated again for
-// another — late arrivals join the running flight (singleflight dedup).
+// result store, one job queue, and one in-flight table: a digest being
+// simulated for any client is never simulated again for another — late
+// arrivals join the running flight (singleflight dedup), regardless of
+// whether the flight executes on the in-process pool or on a remote
+// worker that leased it.
 type Server struct {
-	store   harness.Store
-	sem     chan struct{}
-	baseCtx context.Context
+	store        harness.Store
+	queue        *Queue
+	fleet        *fleetExecutor
+	localWorkers int                // 0 in fleet-only mode
+	stopExec     context.CancelFunc // stops the attached executors
 
 	// runSim is the simulation entry point; tests substitute a counting
 	// or blocking stub.
@@ -50,34 +58,83 @@ type Server struct {
 	jobsCached   int64 // jobs served straight from the store
 	jobsDeduped  int64 // jobs that joined an in-flight or in-batch digest
 	sweepsTotal  int64
-	simsRunning  int // gauge: simulations currently executing
+	simsRunning  int // gauge: local simulations currently executing
 }
 
-// flight is one in-progress simulation of a digest (singleflight cell).
+// flight is one in-progress execution of a digest (singleflight cell).
 type flight struct {
 	done chan struct{} // closed when res/err are final
 	res  sim.Result
 	err  error
+	via  string // viaRan | viaStored | viaFailed
 }
 
-// NewServer builds a sweep server over a result store.
+// NewServer builds a sweep server over a result store and attaches its
+// executors: the local pool (unless opt.Workers < 0) and the remote
+// fleet's lease surface, both draining one queue.
 func NewServer(store harness.Store, opt ServerOptions) *Server {
 	workers := opt.Workers
-	if workers <= 0 {
+	if workers == 0 {
 		workers = defaultWorkers()
+	}
+	if workers < 0 {
+		workers = 0
 	}
 	base := opt.BaseContext
 	if base == nil {
 		base = context.Background()
 	}
-	return &Server{
-		store:    store,
-		sem:      make(chan struct{}, workers),
-		baseCtx:  base,
-		runSim:   sim.Run,
-		sweeps:   make(map[string]*sweep),
-		inflight: make(map[string]*flight),
+	// Executors stop on BaseContext *or* Shutdown, whichever comes first,
+	// so a library user without a BaseContext still gets their goroutines
+	// (pool + reaper) back by calling Shutdown.
+	execCtx, stopExec := context.WithCancel(base)
+	s := &Server{
+		store:        store,
+		queue:        newQueue(store.Lookup),
+		fleet:        newFleetExecutor(),
+		localWorkers: workers,
+		stopExec:     stopExec,
+		runSim:       sim.Run,
+		sweeps:       make(map[string]*sweep),
+		inflight:     make(map[string]*flight),
 	}
+	s.fleet.Attach(execCtx, s.queue)
+	if workers > 0 {
+		local := &LocalExecutor{
+			Workers: workers,
+			Sim:     func(o sim.Options) (sim.Result, error) { return s.runSim(o) },
+			Running: s.trackRunning,
+		}
+		local.Attach(execCtx, s.queue)
+	}
+	// Whichever way execution stops — BaseContext cancelled or Shutdown
+	// called — the queue must close with it, so sweeps blocked on queued
+	// work fail with ErrShuttingDown instead of waiting on executors that
+	// no longer exist (the pre-fleet contract: cancelling BaseContext
+	// stops new simulations promptly).
+	go func() {
+		<-execCtx.Done()
+		s.queue.Shutdown()
+	}()
+	return s
+}
+
+func (s *Server) trackRunning(delta int) {
+	s.mu.Lock()
+	s.simsRunning += delta
+	s.mu.Unlock()
+}
+
+// Shutdown stops execution for good: remote workers can no longer lease,
+// every pending or remote-leased job fails its flight with
+// ErrShuttingDown, jobs the in-process pool already started run to
+// completion (their results still reach the store), and the executor
+// goroutines (pool + lease reaper) exit. Call it before Drain so sweeps
+// blocked on unacked remote work fail promptly instead of waiting on
+// workers that may never answer.
+func (s *Server) Shutdown() {
+	s.queue.Shutdown()
+	s.stopExec()
 }
 
 // sweepState is the lifecycle of one submitted sweep.
@@ -212,7 +269,7 @@ func (s *Server) runSweep(sw *sweep, jobs []harness.Job) {
 		wg.Add(1)
 		go func(d string, g *group) {
 			defer wg.Done()
-			res, how, err := s.runDigest(d, g.opt)
+			res, how, err := s.runDigest(d, g.jobs[0].Key, g.opt)
 			if err != nil {
 				sw.mu.Lock()
 				if sw.errMsg == "" {
@@ -288,18 +345,24 @@ func (s *Server) addCounts(executed, cached, deduped int64) {
 	s.mu.Unlock()
 }
 
-// How a digest was satisfied by runDigest.
+// How a digest was satisfied by runDigest. The first two mirror the
+// queue's viaRan/viaStored; joinedFlight is decided here (a caller that
+// found an existing flight and shared its outcome).
 const (
-	ranSim       = "ran"
+	ranSim       = viaRan
 	joinedFlight = "joined"
-	lateStoreHit = "stored"
+	lateStoreHit = viaStored
 )
 
-// runDigest produces the result for one digest, simulating at most once
+// runDigest produces the result for one digest, executing at most once
 // across every concurrent sweep: the first caller becomes the flight
-// leader (registered before it even has a pool slot, so queued work
-// dedups too); later callers block on the flight and share its outcome.
-func (s *Server) runDigest(d string, opt sim.Options) (sim.Result, string, error) {
+// leader and enqueues one job (registered before any executor takes it,
+// so queued work dedups too); later callers block on the flight and share
+// its outcome. Which executor completes the job — the in-process pool or
+// a remote worker's result upload — is invisible here: both resolve the
+// flight through the same finish callback, which routes the result
+// through the shared store first.
+func (s *Server) runDigest(d, key string, opt sim.Options) (sim.Result, string, error) {
 	s.mu.Lock()
 	if f, ok := s.inflight[d]; ok {
 		s.mu.Unlock()
@@ -310,58 +373,160 @@ func (s *Server) runDigest(d string, opt sim.Options) (sim.Result, string, error
 	s.inflight[d] = f
 	s.mu.Unlock()
 
-	how := ranSim
-	f.res, f.err = func() (sim.Result, error) {
-		select {
-		case s.sem <- struct{}{}:
-		case <-s.baseCtx.Done():
-			return sim.Result{}, fmt.Errorf("service: server shutting down: %w", s.baseCtx.Err())
-		}
-		defer func() { <-s.sem }()
-		// Another sweep may have recorded the digest while we queued.
-		if res, ok := s.store.Lookup(d); ok {
-			how = lateStoreHit
-			return res, nil
-		}
-		s.mu.Lock()
-		s.simsRunning++
-		s.mu.Unlock()
-		res, err := s.runSim(opt)
-		s.mu.Lock()
-		s.simsRunning--
-		s.mu.Unlock()
-		if err == nil {
+	finish := func(res sim.Result, err error, via string) {
+		if err == nil && via == viaRan {
+			// Freshly executed (locally or uploaded by a worker): persist
+			// before publishing, so a result a sweep has seen is never
+			// lost to a crash.
 			err = s.store.Record(d, res)
 		}
-		return res, err
-	}()
-
-	s.mu.Lock()
-	delete(s.inflight, d)
-	s.mu.Unlock()
-	close(f.done)
-	return f.res, how, f.err
+		f.res, f.err, f.via = res, err, via
+		s.mu.Lock()
+		delete(s.inflight, d)
+		s.mu.Unlock()
+		close(f.done)
+	}
+	if err := s.queue.Enqueue(d, key, opt, finish); err != nil {
+		finish(sim.Result{}, err, viaFailed)
+	}
+	<-f.done
+	return f.res, f.via, f.err
 }
 
 // Handler returns the HTTP API:
 //
-//	POST /v1/sweeps              submit a Spec, 202 + SubmitResponse
-//	GET  /v1/sweeps/{id}         SweepStatus
-//	GET  /v1/sweeps/{id}/results NDJSON outcome stream (as points finish)
-//	GET  /v1/results/{digest}    one stored result
-//	GET  /healthz                liveness
-//	GET  /metrics                Prometheus-style counters
+//	POST /v1/sweeps                submit a Spec, 202 + SubmitResponse
+//	GET  /v1/sweeps/{id}           SweepStatus
+//	GET  /v1/sweeps/{id}/results   NDJSON outcome stream (as points finish)
+//	GET  /v1/results/{digest}      one stored result
+//	POST /v1/jobs/lease            worker: lease queued jobs (long-poll)
+//	POST /v1/jobs/{digest}/result  worker: upload a result or error (ack)
+//	POST /v1/jobs/{digest}/release worker: return an unrun lease
+//	POST /v1/workers/heartbeat     worker: extend held leases
+//	GET  /healthz                  liveness
+//	GET  /metrics                  Prometheus-style counters
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleResults)
 	mux.HandleFunc("GET /v1/results/{digest}", s.handleResult)
+	mux.HandleFunc("POST /v1/jobs/lease", s.handleLease)
+	mux.HandleFunc("POST /v1/jobs/{digest}/result", s.handleJobResult)
+	mux.HandleFunc("POST /v1/jobs/{digest}/release", s.handleJobRelease)
+	mux.HandleFunc("POST /v1/workers/heartbeat", s.handleHeartbeat)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// validWorkerID rejects empty ids and the reserved "!" prefix ("!local"
+// marks in-process leases, which never expire and survive Shutdown — a
+// remote worker must not be able to claim, complete, or wedge those).
+func validWorkerID(w http.ResponseWriter, id string) bool {
+	if id == "" {
+		httpError(w, http.StatusBadRequest, "request needs a worker_id")
+		return false
+	}
+	if strings.HasPrefix(id, "!") {
+		httpError(w, http.StatusBadRequest, "worker_id %q: ids starting with %q are reserved", id, "!")
+		return false
+	}
+	return true
+}
+
+// handleLease pops queued jobs for a worker. An empty job list is a
+// normal response (the long-poll elapsed idle; lease again); 503 means
+// the server is shutting down and the worker should back off.
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid lease request: %v", err)
+		return
+	}
+	if !validWorkerID(w, req.WorkerID) {
+		return
+	}
+	ttl := clampTTL(time.Duration(req.TTLMS) * time.Millisecond)
+	wait := time.Duration(req.WaitMS) * time.Millisecond
+	jobs, err := s.fleet.lease(req.WorkerID, req.MaxJobs, ttl, wait)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	resp := LeaseResponse{TTLMS: ttl.Milliseconds(), Jobs: make([]WireJob, 0, len(jobs))}
+	for _, j := range jobs {
+		resp.Jobs = append(resp.Jobs, WireJob{Digest: j.Digest, Key: j.Key, Options: j.Opt})
+	}
+	writeJSON(w, resp)
+}
+
+// handleJobResult applies a worker's ack: a result or an error for one
+// leased digest. Always 200 with an AckResponse — accepted=false marks an
+// idempotent no-op (double ack, or a straggler whose lease was reclaimed
+// and whose job someone else finished), which the worker treats as
+// success.
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	var up ResultUpload
+	if err := json.NewDecoder(r.Body).Decode(&up); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid result upload: %v", err)
+		return
+	}
+	if !validWorkerID(w, up.WorkerID) {
+		return
+	}
+	digest := r.PathValue("digest")
+	var (
+		res sim.Result
+		err error
+	)
+	switch {
+	case up.Error != "":
+		err = fmt.Errorf("service: worker %s: %s", up.WorkerID, up.Error)
+	case up.Result != nil:
+		res = *up.Result
+	default:
+		httpError(w, http.StatusBadRequest, "result upload carries neither result nor error")
+		return
+	}
+	writeJSON(w, AckResponse{Accepted: s.fleet.complete(up.WorkerID, digest, res, err)})
+}
+
+// handleJobRelease returns an unrun lease to the queue front.
+func (s *Server) handleJobRelease(w http.ResponseWriter, r *http.Request) {
+	var req ReleaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid release request: %v", err)
+		return
+	}
+	if !validWorkerID(w, req.WorkerID) {
+		return
+	}
+	s.fleet.touch(req.WorkerID)
+	writeJSON(w, AckResponse{Accepted: s.queue.Release(r.PathValue("digest"), req.WorkerID)})
+}
+
+// handleHeartbeat extends a worker's leases; the response tells the
+// worker how many it still holds (fewer than asked means some were
+// reclaimed — their uploads will be ignored).
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid heartbeat: %v", err)
+		return
+	}
+	if !validWorkerID(w, req.WorkerID) {
+		return
+	}
+	s.fleet.touch(req.WorkerID)
+	writeJSON(w, HeartbeatResponse{Held: s.queue.Heartbeat(req.WorkerID, req.Digests)})
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -473,18 +638,29 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics serves Prometheus-style plain-text counters: scheduling
 // behaviour (simulations run, jobs deduped, jobs served from cache,
-// in-flight gauge) plus result-store size when the backend reports it.
+// in-flight gauge), fleet state (attached workers, queue depth, leases
+// handed out / reclaimed / completed remotely), plus result-store size
+// when the backend reports it.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	qs := s.queue.stats()
+	fs := s.fleet.stats()
 	s.mu.Lock()
 	lines := map[string]int64{
-		"secddr_sweeps_total":        s.sweepsTotal,
-		"secddr_sweeps_active":       int64(s.countActiveLocked()),
-		"secddr_sims_executed_total": s.simsExecuted,
-		"secddr_jobs_cached_total":   s.jobsCached,
-		"secddr_jobs_deduped_total":  s.jobsDeduped,
-		"secddr_sims_running":        int64(s.simsRunning),
-		"secddr_digests_inflight":    int64(len(s.inflight)),
-		"secddr_pool_capacity":       int64(cap(s.sem)),
+		"secddr_sweeps_total":           s.sweepsTotal,
+		"secddr_sweeps_active":          int64(s.countActiveLocked()),
+		"secddr_sims_executed_total":    s.simsExecuted,
+		"secddr_jobs_cached_total":      s.jobsCached,
+		"secddr_jobs_deduped_total":     s.jobsDeduped,
+		"secddr_sims_running":           int64(s.simsRunning),
+		"secddr_digests_inflight":       int64(len(s.inflight)),
+		"secddr_pool_capacity":          int64(s.localWorkers),
+		"secddr_queue_depth":            int64(qs.pending),
+		"secddr_jobs_leased":            int64(qs.leased),
+		"secddr_jobs_requeued_total":    qs.requeued,
+		"secddr_jobs_released_total":    qs.released,
+		"secddr_jobs_leased_total":      fs.leasedTotal,
+		"secddr_jobs_remote_done_total": fs.remoteComplete,
+		"secddr_fleet_workers":          int64(fs.attached),
 	}
 	s.mu.Unlock()
 	if st, ok := s.store.(*resultstore.Store); ok {

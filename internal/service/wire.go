@@ -1,0 +1,76 @@
+package service
+
+import "secddr/internal/sim"
+
+// Wire types of the worker fleet's leasing protocol. A job's ID on the
+// wire is its digest: the queue holds at most one job per digest (the
+// flight table dedups upstream), digests are content-addressed, and a
+// worker recomputing Options.Digest() can verify what it was handed.
+// sim.Options crosses the wire verbatim — it holds only exported value
+// types, so a JSON round trip preserves the digest bit-for-bit (see
+// TestWireJobRoundTrip).
+
+// LeaseRequest is the POST /v1/jobs/lease body.
+type LeaseRequest struct {
+	// WorkerID identifies the worker across lease, heartbeat, and ack
+	// calls; any stable non-empty string (secddr-worker defaults to
+	// host-pid).
+	WorkerID string `json:"worker_id"`
+	// MaxJobs bounds the batch; <= 0 means 1.
+	MaxJobs int `json:"max_jobs,omitempty"`
+	// WaitMS long-polls: the server holds the request up to this long
+	// waiting for work before answering with an empty batch.
+	WaitMS int64 `json:"wait_ms,omitempty"`
+	// TTLMS requests a lease duration; the server clamps it to protocol
+	// bounds and echoes the granted value.
+	TTLMS int64 `json:"ttl_ms,omitempty"`
+}
+
+// WireJob is one leased job.
+type WireJob struct {
+	Digest  string      `json:"digest"`
+	Key     string      `json:"key"`
+	Options sim.Options `json:"options"`
+}
+
+// LeaseResponse is the lease answer. Empty Jobs means the wait elapsed
+// with nothing queued — lease again.
+type LeaseResponse struct {
+	Jobs  []WireJob `json:"jobs"`
+	TTLMS int64     `json:"ttl_ms"` // granted lease duration
+}
+
+// ResultUpload is the POST /v1/jobs/{digest}/result body: exactly one of
+// Result (success) or Error (the simulation failed; deterministic, so
+// retrying elsewhere would fail too) must be set.
+type ResultUpload struct {
+	WorkerID string      `json:"worker_id"`
+	Result   *sim.Result `json:"result,omitempty"`
+	Error    string      `json:"error,omitempty"`
+}
+
+// ReleaseRequest is the POST /v1/jobs/{digest}/release body.
+type ReleaseRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// AckResponse answers result and release posts. Accepted=false is not an
+// error: the job was already finished or reclaimed and the post was
+// idempotently ignored.
+type AckResponse struct {
+	Accepted bool `json:"accepted"`
+}
+
+// HeartbeatRequest is the POST /v1/workers/heartbeat body: the digests
+// the worker believes it holds.
+type HeartbeatRequest struct {
+	WorkerID string   `json:"worker_id"`
+	Digests  []string `json:"digests"`
+}
+
+// HeartbeatResponse reports how many of the claimed leases were extended;
+// fewer than claimed means some were reclaimed (their acks will be
+// ignored, the worker may abandon them).
+type HeartbeatResponse struct {
+	Held int `json:"held"`
+}

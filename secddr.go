@@ -20,11 +20,14 @@
 //     digest-keyed result caching behind a pluggable Store, plus the
 //     declarative figure definitions (Fig6 .. Fig12, Table2) that regenerate
 //     each table and figure of the paper's evaluation on top of it.
-//   - The campaign service (OpenResultStore, SweepClient, cmd/secddr-serve):
-//     a concurrent append-only result store many processes share, and an
-//     HTTP daemon that runs submitted sweeps once — identical concurrent
-//     requests join one in-flight simulation — and streams results to
-//     every client.
+//   - The campaign service (OpenResultStore, SweepClient, NewSweepServer,
+//     cmd/secddr-serve, cmd/secddr-worker): a concurrent append-only result
+//     store many processes share, and an HTTP daemon that runs submitted
+//     sweeps once — identical concurrent requests join one in-flight
+//     execution — and streams results to every client. Execution scales
+//     out: a FleetWorker leases jobs from the daemon's queue over HTTP,
+//     crashed workers' leases are reclaimed and re-run, and results stay
+//     byte-identical to a local run.
 //
 // See examples/ for runnable entry points, README.md for the build and
 // figure-regeneration quickstart, and DESIGN.md for the system inventory.
@@ -185,6 +188,30 @@ type SweepSpec = service.Spec
 
 // SweepClient talks to a secddr-serve daemon.
 type SweepClient = service.Client
+
+// SweepServer is the campaign service's HTTP engine: sweep submission,
+// singleflight job queue, result streaming, and the worker fleet's
+// lease/ack/heartbeat surface. cmd/secddr-serve is a thin wrapper.
+type SweepServer = service.Server
+
+// SweepServerOptions sizes the server's local pool (negative Workers =
+// fleet-only: execute nothing in-process, serve leases to workers).
+type SweepServerOptions = service.ServerOptions
+
+// SweepExecutor drains a sweep server's job queue; the in-process pool
+// (service.LocalExecutor) and the remote worker fleet both implement it
+// and may run side by side. See DESIGN.md, "The worker fleet".
+type SweepExecutor = service.Executor
+
+// FleetWorker leases jobs from a sweep server and streams results back;
+// it is the engine of cmd/secddr-worker.
+type FleetWorker = service.Worker
+
+// NewSweepServer builds a sweep server over a result store (any
+// CampaignStore) and attaches its executors.
+func NewSweepServer(store CampaignStore, opt SweepServerOptions) *SweepServer {
+	return service.NewServer(store, opt)
+}
 
 // Scale controls experiment length.
 type Scale = experiments.Scale
