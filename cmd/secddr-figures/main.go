@@ -121,7 +121,8 @@ func run() error {
 
 // runAblations executes the design-choice studies DESIGN.md calls out:
 // protected-capacity scaling, the eWCRC burst cost, metadata-cache sizing,
-// crypto-latency sensitivity, DDR5 burst economics, and channel scaling.
+// crypto-latency sensitivity, DDR5 burst economics, channel scaling, and
+// the scenario mix (the built-in scenario library under tree vs SecDDR).
 func runAblations(scale experiments.Scale) error {
 	caps, err := experiments.AblationFootprintScaling(scale)
 	if err != nil {
@@ -163,5 +164,12 @@ func runAblations(scale experiments.Scale) error {
 		return err
 	}
 	fmt.Print(experiments.FormatAblation("Ablation: DDR4 channel scaling (per-channel-count baseline)", chs))
+	fmt.Println()
+
+	mix, err := experiments.AblationScenarioMix(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatAblation("Ablation: scenario mix (phase-switching / heterogeneous / attacker workloads)", mix))
 	return nil
 }

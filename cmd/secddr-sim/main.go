@@ -5,9 +5,10 @@
 // Usage:
 //
 //	secddr-sim -workload mcf -mode secddr+xts -instr 1000000
-//	secddr-sim -workload lbm -json    # machine-readable result
-//	secddr-sim -list                  # available workloads and modes
-//	secddr-sim -print-config          # dump the Table I configuration
+//	secddr-sim -workload lbm -json        # machine-readable result
+//	secddr-sim -scenario thrash-one       # built-in multi-core scenario
+//	secddr-sim -list                      # workloads, scenarios, and modes
+//	secddr-sim -print-config              # dump the Table I configuration
 //
 // For multi-point grids (many workloads x many modes) use secddr-sweep,
 // which runs this same simulator on a parallel, cached campaign harness.
@@ -20,6 +21,7 @@ import (
 	"os"
 
 	"secddr/internal/config"
+	"secddr/internal/scenario"
 	"secddr/internal/sim"
 	"secddr/internal/trace"
 )
@@ -34,6 +36,7 @@ func main() {
 func run() error {
 	var (
 		workload    = flag.String("workload", "mcf", "benchmark name (see -list)")
+		scn         = flag.String("scenario", "", "built-in scenario name (see -list); replaces -workload with a multi-core phase-structured workload")
 		mode        = flag.String("mode", "secddr+xts", "protection mode (see -list)")
 		instr       = flag.Uint64("instr", 500_000, "measured instructions per core")
 		warmup      = flag.Uint64("warmup", 200_000, "warmup instructions per core")
@@ -53,6 +56,14 @@ func run() error {
 				tag = " (memory-intensive)"
 			}
 			fmt.Printf("  %-12s MPKI=%-6.1f pattern=%-8v%s\n", p.Name, p.MPKI, p.Pattern, tag)
+		}
+		fmt.Println("attacker profiles (scenario building blocks):")
+		for _, p := range scenario.AttackerProfiles() {
+			fmt.Printf("  %-20s MPKI=%-6.1f pattern=%-8v\n", p.Name, p.MPKI, p.Pattern)
+		}
+		fmt.Println("scenarios:")
+		for _, s := range scenario.Builtins() {
+			fmt.Printf("  %-16s %s\n", s.Name, s.Description)
 		}
 		fmt.Println("modes:")
 		for m := config.ModeIntegrityTree; m <= config.ModeUnprotected; m++ {
@@ -76,17 +87,26 @@ func run() error {
 		return nil
 	}
 
-	p, ok := trace.ByName(*workload)
-	if !ok {
-		return fmt.Errorf("unknown workload %q (try -list)", *workload)
-	}
-	res, err := sim.Run(sim.Options{
+	opt := sim.Options{
 		Config:       cfg,
-		Workload:     p,
 		InstrPerCore: *instr,
 		WarmupInstr:  *warmup,
 		Seed:         *seed,
-	})
+	}
+	if *scn != "" {
+		s, ok := scenario.ByName(*scn)
+		if !ok {
+			return fmt.Errorf("unknown scenario %q (try -list)", *scn)
+		}
+		opt.Scenario = s
+	} else {
+		p, ok := trace.ByName(*workload)
+		if !ok {
+			return fmt.Errorf("unknown workload %q (try -list)", *workload)
+		}
+		opt.Workload = p
+	}
+	res, err := sim.Run(opt)
 	if err != nil {
 		return err
 	}
@@ -98,10 +118,16 @@ func run() error {
 	}
 
 	fmt.Printf("workload          %s\n", res.Workload)
+	if !opt.Scenario.IsZero() {
+		fmt.Printf("scenario          %v\n", opt.Scenario)
+	}
 	fmt.Printf("mode              %v\n", res.Mode)
 	fmt.Printf("total IPC         %.3f\n", res.IPC)
-	fmt.Printf("per-core IPC      %.3f %.3f %.3f %.3f\n",
-		res.PerCoreIPC[0], res.PerCoreIPC[1], res.PerCoreIPC[2], res.PerCoreIPC[3])
+	fmt.Printf("per-core IPC     ")
+	for _, v := range res.PerCoreIPC {
+		fmt.Printf(" %.3f", v)
+	}
+	fmt.Println()
 	fmt.Printf("LLC MPKI          %.2f (miss rate %.1f%%)\n", res.LLCMPKI, res.LLCMissRate*100)
 	if res.MetaAccesses > 0 {
 		fmt.Printf("metadata cache    %.1f%% miss rate, %d accesses, %d DRAM fetches\n",

@@ -20,6 +20,13 @@
 //	secddr-sweep -modes secddr+ctr,integrity-tree -channels 4   # multi-channel DDR4
 //	secddr-sweep -store sweeps.store -modes all                 # segment store backend
 //	secddr-sweep -server http://127.0.0.1:8080 -quick           # remote execution
+//	secddr-sweep -scenario thrash-one,phase-alternate -quick    # built-in scenarios
+//	secddr-sweep -scenario-file examples/scenarios/quick.json   # manifest scenarios
+//
+// Scenario sweeps (built-in names via -scenario, or JSON manifests via
+// -scenario-file; see internal/scenario and examples/scenarios/) run the
+// same declarative grid machinery — including -server mode, where the
+// manifest definitions cross the wire and expand to identical digests.
 //
 // See README.md for more examples and DESIGN.md for the harness design.
 package main
@@ -34,6 +41,7 @@ import (
 
 	"secddr/internal/harness"
 	"secddr/internal/resultstore"
+	"secddr/internal/scenario"
 	"secddr/internal/service"
 )
 
@@ -47,7 +55,9 @@ func main() {
 func run() error {
 	var (
 		modes      = flag.String("modes", "fig6", `comma-separated protection modes (see secddr-sim -list), "all", or "fig6" (the paper's five Fig. 6 configurations)`)
-		workloads  = flag.String("workloads", "all", `comma-separated workload subset, or "all"`)
+		workloads  = flag.String("workloads", "", `comma-separated workload subset, or "all" (default: all 29, or none when a scenario is requested)`)
+		scenarios  = flag.String("scenario", "", `comma-separated built-in scenario names (see secddr-sim -list), or "all"`)
+		scnFile    = flag.String("scenario-file", "", "JSON scenario manifest (see examples/scenarios/); combines with -scenario")
 		quick      = flag.Bool("quick", false, "smoke scale (fast, noisier)")
 		instr      = flag.Uint64("instr", 0, "override measured instructions per core")
 		warmup     = flag.Uint64("warmup", 0, "override warmup instructions per core")
@@ -66,12 +76,20 @@ func run() error {
 	spec := service.Spec{
 		Modes:        service.ParseList(*modes),
 		Workloads:    service.ParseList(*workloads),
+		Scenarios:    service.ParseList(*scenarios),
 		Quick:        *quick,
 		InstrPerCore: *instr,
 		WarmupInstr:  *warmup,
 		Seed:         seed, // always explicit from the flag, 0 included
 		SeedPerJob:   *seedPerJob,
 		Channels:     *channels,
+	}
+	if *scnFile != "" {
+		defs, err := scenario.LoadManifest(*scnFile)
+		if err != nil {
+			return err
+		}
+		spec.ScenarioDefs = defs
 	}
 
 	// Ctrl-C stops dispatching; completed points are already flushed to

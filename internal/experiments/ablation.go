@@ -6,6 +6,8 @@ import (
 	"strings"
 
 	"secddr/internal/config"
+	"secddr/internal/harness"
+	"secddr/internal/scenario"
 )
 
 // AblationRow is one configuration point in an ablation sweep.
@@ -53,6 +55,51 @@ func gmeanNormalized(scale Scale, cfgs []namedConfig) (map[string]float64, error
 		}
 	}
 	return out, nil
+}
+
+// AblationScenarioMix sweeps the built-in scenario library (heterogeneous
+// co-runners, phase-switching programs, attacker-among-benign mixes; see
+// internal/scenario) under the integrity tree and SecDDR+CTR. Each row is
+// total scenario IPC normalized to the TDX-like baseline on the same
+// scenario: the workload classes the paper's stationary single-profile
+// sweeps cannot express, and the regime where tree-walk amplification
+// meets adversarial metadata pressure.
+func AblationScenarioMix(scale Scale) ([]AblationRow, error) {
+	configs := []namedConfig{
+		{Label: "base", Config: tdxBaseline().Config},
+		{Label: "tree-64ary", Config: config.Table1(config.ModeIntegrityTree)},
+		{Label: "secddr+ctr", Config: config.Table1(config.ModeSecDDRCTR)},
+	}
+	scns := scenario.Builtins()
+	grid := harness.Grid{
+		Scenarios:    scns,
+		Configs:      configs,
+		InstrPerCore: scale.InstrPerCore,
+		WarmupInstr:  scale.WarmupInstr,
+		Seed:         scale.Seed,
+	}
+	outs, _, err := harness.Run(harness.Campaign{
+		Jobs:       grid.Jobs(),
+		Workers:    scale.workers(),
+		Store:      scale.Store,
+		Checkpoint: scale.Checkpoint,
+	})
+	if err != nil {
+		return nil, err
+	}
+	results := harness.Index(outs)
+	var rows []AblationRow
+	for _, scn := range scns {
+		base := results[scn.Name+"/base"].IPC
+		for _, label := range []string{"tree-64ary", "secddr+ctr"} {
+			v := 0.0
+			if base > 0 {
+				v = results[scn.Name+"/"+label].IPC / base
+			}
+			rows = append(rows, AblationRow{scn.Name, label, v})
+		}
+	}
+	return rows, nil
 }
 
 // AblationFootprintScaling sweeps the application footprint: the paper's

@@ -1,6 +1,10 @@
 package experiments
 
-import "testing"
+import (
+	"testing"
+
+	"secddr/internal/scenario"
+)
 
 func ablScale() Scale {
 	s := QuickScale()
@@ -127,6 +131,34 @@ func TestAblationChannelScaling(t *testing.T) {
 		if byKey[ch+"/secddr+ctr"] < byKey[ch+"/tree-64ary"] {
 			t.Errorf("%s: secddr (%.3f) below tree (%.3f)",
 				ch, byKey[ch+"/secddr+ctr"], byKey[ch+"/tree-64ary"])
+		}
+	}
+}
+
+func TestAblationScenarioMix(t *testing.T) {
+	s := QuickScale()
+	s.InstrPerCore = 12_000
+	s.WarmupInstr = 4_000
+	rows, err := AblationScenarioMix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 || len(rows)%2 != 0 {
+		t.Fatalf("rows = %d, want 2 per built-in scenario", len(rows))
+	}
+	byKey := map[string]float64{}
+	for _, r := range rows {
+		if r.Value <= 0 {
+			t.Errorf("%s/%s: non-positive normalized IPC %.3f", r.Param, r.Label, r.Value)
+		}
+		byKey[r.Param+"/"+r.Label] = r.Value
+	}
+	// Every built-in scenario appears under both protected configurations.
+	for _, scn := range scenario.Builtins() {
+		for _, label := range []string{"tree-64ary", "secddr+ctr"} {
+			if _, ok := byKey[scn.Name+"/"+label]; !ok {
+				t.Errorf("missing row %s/%s", scn.Name, label)
+			}
 		}
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"secddr/internal/config"
+	"secddr/internal/scenario"
 	"secddr/internal/sim"
 	"secddr/internal/trace"
 )
@@ -66,6 +67,10 @@ type NamedConfig struct {
 // form the experiment figures and cmd/secddr-sweep are written in.
 type Grid struct {
 	Workloads []trace.Profile
+	// Scenarios are multi-core, phase-structured workloads (see
+	// internal/scenario) swept against the same Configs; their jobs follow
+	// the profile jobs, keyed "scenario-name/label".
+	Scenarios []scenario.Scenario
 	Configs   []NamedConfig
 
 	InstrPerCore uint64
@@ -79,27 +84,32 @@ type Grid struct {
 	SeedPerJob bool
 }
 
-// Jobs expands the grid in deterministic workload-major order.
+// Jobs expands the grid in deterministic workload-major order: profile
+// jobs first, then scenario jobs, each workload crossed with every config.
 func (g Grid) Jobs() []Job {
-	jobs := make([]Job, 0, len(g.Workloads)*len(g.Configs))
-	for _, p := range g.Workloads {
+	jobs := make([]Job, 0, (len(g.Workloads)+len(g.Scenarios))*len(g.Configs))
+	add := func(name string, opt sim.Options) {
 		for _, nc := range g.Configs {
-			key := p.Name + "/" + nc.Label
+			key := name + "/" + nc.Label
 			seed := g.Seed
 			if g.SeedPerJob {
 				seed = DeriveSeed(g.Seed, key)
 			}
-			jobs = append(jobs, Job{
-				Key: key,
-				Opt: sim.Options{
-					Config:       nc.Config,
-					Workload:     p,
-					InstrPerCore: g.InstrPerCore,
-					WarmupInstr:  g.WarmupInstr,
-					Seed:         seed,
-				},
-			})
+			opt.Config = nc.Config
+			opt.Seed = seed
+			jobs = append(jobs, Job{Key: key, Opt: opt})
 		}
+	}
+	base := sim.Options{InstrPerCore: g.InstrPerCore, WarmupInstr: g.WarmupInstr}
+	for _, p := range g.Workloads {
+		opt := base
+		opt.Workload = p
+		add(p.Name, opt)
+	}
+	for _, s := range g.Scenarios {
+		opt := base
+		opt.Scenario = s
+		add(s.Name, opt)
 	}
 	return jobs
 }
@@ -301,7 +311,7 @@ dispatch:
 		}
 		outs[i] = Outcome{
 			Key:      j.Key,
-			Workload: j.Opt.Workload.Name,
+			Workload: j.Opt.WorkloadName(),
 			Mode:     j.Opt.Config.Security.Mode.String(),
 			Digest:   d,
 			Cached:   fromCache,

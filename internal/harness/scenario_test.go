@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"testing"
+
+	"secddr/internal/config"
+	"secddr/internal/scenario"
+	"secddr/internal/sim"
+	"secddr/internal/trace"
+)
+
+// Scenario grid expansion: profile jobs first, then scenario jobs, every
+// workload crossed with every config; scenario identity is part of the
+// digest and the outcome carries the scenario name as its workload.
+func TestGridScenarioExpansion(t *testing.T) {
+	mcf, _ := trace.ByName("mcf")
+	thrash, _ := scenario.ByName("thrash-one")
+	duel, _ := scenario.ByName("bandwidth-duel")
+	grid := Grid{
+		Workloads: []trace.Profile{mcf},
+		Scenarios: []scenario.Scenario{thrash, duel},
+		Configs: []NamedConfig{
+			{Label: "unprotected", Config: config.Table1(config.ModeUnprotected)},
+			{Label: "secddr+ctr", Config: config.Table1(config.ModeSecDDRCTR)},
+		},
+		InstrPerCore: 1_000,
+		WarmupInstr:  100,
+		Seed:         42,
+	}
+	jobs := grid.Jobs()
+	wantKeys := []string{
+		"mcf/unprotected", "mcf/secddr+ctr",
+		"thrash-one/unprotected", "thrash-one/secddr+ctr",
+		"bandwidth-duel/unprotected", "bandwidth-duel/secddr+ctr",
+	}
+	if len(jobs) != len(wantKeys) {
+		t.Fatalf("got %d jobs, want %d", len(jobs), len(wantKeys))
+	}
+	digests := map[string]string{}
+	for i, j := range jobs {
+		if j.Key != wantKeys[i] {
+			t.Fatalf("job %d key = %q, want %q", i, j.Key, wantKeys[i])
+		}
+		d := j.Opt.Digest()
+		if prev, dup := digests[d]; dup {
+			t.Fatalf("jobs %q and %q share a digest", prev, j.Key)
+		}
+		digests[d] = j.Key
+	}
+	if jobs[2].Opt.Scenario.IsZero() || jobs[2].Opt.Workload.Name != "" {
+		t.Fatalf("scenario job carries wrong workload fields: %+v", jobs[2].Opt)
+	}
+
+	// SeedPerJob derives distinct deterministic seeds for scenario jobs.
+	grid.SeedPerJob = true
+	perJob := grid.Jobs()
+	if perJob[2].Opt.Seed == perJob[3].Opt.Seed {
+		t.Fatal("SeedPerJob left two scenario jobs on one seed")
+	}
+	if perJob[2].Opt.Seed != DeriveSeed(42, "thrash-one/unprotected") {
+		t.Fatal("scenario job seed not derived from its key")
+	}
+
+	// Outcomes label scenario runs with the scenario name.
+	outs, _, err := Run(Campaign{
+		Jobs: jobs[2:3],
+		Sim: func(o sim.Options) (sim.Result, error) {
+			return sim.Result{Workload: o.WorkloadName(), IPC: 1}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Workload != "thrash-one" {
+		t.Fatalf("outcome workload = %q, want scenario name", outs[0].Workload)
+	}
+}

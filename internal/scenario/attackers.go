@@ -1,0 +1,61 @@
+package scenario
+
+import "secddr/internal/trace"
+
+const (
+	_kb = 1 << 10
+	_mb = 1 << 20
+	_gb = 1 << 30
+)
+
+// _attackers are synthetic adversary access patterns for the
+// attacker-among-benign mixes: not SPEC/GAPBS proxies but worst-case
+// co-runners a secure-memory design must absorb. They reuse the trace
+// generator's patterns at maximum memory intensity (the generator caps
+// accesses at 250 per kilo-instruction) with a negligible hot set, so
+// nearly every access escapes the LLC and lands on the memory system —
+// and, under a protected mode, on the metadata path.
+var _attackers = []trace.Profile{
+	{
+		// Bank/row-buffer thrash: four strided cursors spaced a quarter
+		// footprint apart, each stepping four lines per access, so
+		// consecutive accesses alternate between distant rows and defeat
+		// the row buffer. Half stores, to pressure eWCRC-extended write
+		// bursts as well.
+		Name: "attacker-rowthrash", MPKI: 200, StoreFrac: 0.5,
+		Footprint: 64 * _mb, HotFrac: 0.02, HotBytes: 128 * _kb,
+		Pattern: trace.PatternStrided,
+	},
+	{
+		// Uniform-random flood over a large footprint: maximum metadata-
+		// cache pollution per instruction, write-heavy.
+		Name: "attacker-flood", MPKI: 250, StoreFrac: 0.5,
+		Footprint: 512 * _mb, HotFrac: 0.02, HotBytes: 128 * _kb,
+		Pattern: trace.PatternRandom,
+	},
+	{
+		// Serialized pointer chase: near-total load-load dependence kills
+		// memory-level parallelism, exposing the full (metadata-amplified)
+		// miss latency on every access.
+		Name: "attacker-chase", MPKI: 150, StoreFrac: 0.1, DependentFrac: 0.9,
+		Footprint: 1 * _gb, HotFrac: 0.05, HotBytes: 128 * _kb,
+		Pattern: trace.PatternChase,
+	},
+}
+
+// AttackerProfiles returns the synthetic adversary profiles. The slice is
+// a copy; callers may mutate it.
+func AttackerProfiles() []trace.Profile {
+	out := make([]trace.Profile, len(_attackers))
+	copy(out, _attackers)
+	return out
+}
+
+func attackerByName(name string) (trace.Profile, bool) {
+	for _, p := range _attackers {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return trace.Profile{}, false
+}

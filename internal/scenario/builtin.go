@@ -1,0 +1,116 @@
+package scenario
+
+// Built-in scenario library: the workload classes the single-profile
+// sweeps cannot express. Phase lengths are chosen to switch several times
+// even at smoke scale (QuickScale measures 120k instructions per core
+// after 60k warmup) and dozens of times at figure scale.
+
+// stationary builds a script that runs one profile for the whole run.
+func stationary(profile string) CoreScript {
+	return CoreScript{Phases: []Phase{{Profile: profile}}}
+}
+
+// alternating builds a looping script cycling through the given profiles
+// with a fixed per-phase instruction budget.
+func alternating(instr uint64, profiles ...string) CoreScript {
+	cs := CoreScript{Loop: true}
+	for _, p := range profiles {
+		cs.Phases = append(cs.Phases, Phase{Profile: p, Instr: instr})
+	}
+	return cs
+}
+
+var _builtins = []Scenario{
+	{
+		Name:        "stream-chase",
+		Description: "Heterogeneous co-run: write-streaming lbm beside pointer-chasing mcf on alternating cores — bandwidth hog vs latency-bound victim.",
+		Cores:       []CoreScript{stationary("lbm"), stationary("mcf")},
+	},
+	{
+		Name:        "phase-alternate",
+		Description: "Phase-changing program: every core alternates 40k-instruction mcf-like pointer-chase and gcc-like compute phases, looping.",
+		Cores:       []CoreScript{alternating(40_000, "mcf", "gcc")},
+	},
+	{
+		Name:        "markov-server",
+		Description: "Server-consolidation proxy: each core Markov-switches between perlbench, gcc, and xalancbmk every 30k instructions (sticky diagonal).",
+		Cores: []CoreScript{{
+			Phases: []Phase{{Profile: "perlbench"}, {Profile: "gcc"}, {Profile: "xalancbmk"}},
+			Markov: Markov{
+				Interval: 30_000,
+				Transition: [][]float64{
+					{0.6, 0.2, 0.2},
+					{0.25, 0.5, 0.25},
+					{0.2, 0.2, 0.6},
+				},
+			},
+		}},
+	},
+	{
+		Name:        "thrash-one",
+		Description: "Attacker among benign: a row-buffer-thrashing adversary on core 0 beside three xalancbmk tenants.",
+		Cores: []CoreScript{
+			stationary("attacker-rowthrash"),
+			stationary("xalancbmk"), stationary("xalancbmk"), stationary("xalancbmk"),
+		},
+	},
+	{
+		Name:        "all-attacker",
+		Description: "Worst case: every core runs the row-buffer-thrashing adversary.",
+		Cores:       []CoreScript{stationary("attacker-rowthrash")},
+	},
+	{
+		Name:        "flood-mix",
+		Description: "Mixed adversaries: a metadata-flooding writer and a serialized pointer-chase attacker beside two benign tenants (xalancbmk, x264).",
+		Cores: []CoreScript{
+			stationary("attacker-flood"), stationary("attacker-chase"),
+			stationary("xalancbmk"), stationary("x264"),
+		},
+	},
+	{
+		Name:        "graph-quartet",
+		Description: "Heterogeneous graph analytics: bfs, pr, cc, and bc — one per core, all memory-intensive with different localities.",
+		Cores: []CoreScript{
+			stationary("bfs"), stationary("pr"), stationary("cc"), stationary("bc"),
+		},
+	},
+	{
+		Name:        "burst-idle",
+		Description: "Bursty load: 40k-instruction sssp bursts (the highest-MPKI workload) alternating with near-idle exchange2 stretches, looping.",
+		Cores:       []CoreScript{alternating(40_000, "sssp", "exchange2")},
+	},
+	{
+		Name:        "bandwidth-duel",
+		Description: "Four streaming bandwidth hogs (bwaves, fotonik3d, roms, lbm) contending for the data bus.",
+		Cores: []CoreScript{
+			stationary("bwaves"), stationary("fotonik3d"), stationary("roms"), stationary("lbm"),
+		},
+	},
+}
+
+// Builtins returns the built-in scenario library in listing order. The
+// slice is a copy; callers may mutate it.
+func Builtins() []Scenario {
+	out := make([]Scenario, len(_builtins))
+	copy(out, _builtins)
+	return out
+}
+
+// ByName looks a built-in scenario up by name.
+func ByName(name string) (Scenario, bool) {
+	for _, s := range _builtins {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// Names returns the built-in scenario names in listing order.
+func Names() []string {
+	out := make([]string, len(_builtins))
+	for i, s := range _builtins {
+		out[i] = s.Name
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Manifest is the JSON file format secddr-sweep -scenario-file reads: a
+// list of scenarios, optionally wrapped for future extensibility. Three
+// spellings parse: {"scenarios":[...]}, a bare array [...], and a single
+// scenario object {...}. Unknown fields are rejected so typos fail loudly
+// instead of silently dropping a phase. See examples/scenarios/.
+type Manifest struct {
+	Scenarios []Scenario `json:"scenarios"`
+}
+
+// ParseManifest decodes manifest JSON and validates every scenario
+// (profile resolution, phase boundaries, Markov matrices — core-count
+// checks happen later, against the configuration actually swept).
+func ParseManifest(data []byte) ([]Scenario, error) {
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("scenario: empty manifest")
+	}
+	var scns []Scenario
+	switch {
+	case trimmed[0] == '[':
+		if err := strictUnmarshal(trimmed, &scns); err != nil {
+			return nil, fmt.Errorf("scenario: manifest: %w", err)
+		}
+	case isWrapperObject(trimmed):
+		var m Manifest
+		if err := strictUnmarshal(trimmed, &m); err != nil {
+			return nil, fmt.Errorf("scenario: manifest: %w", err)
+		}
+		scns = m.Scenarios
+	default:
+		// A bare single-scenario object: decode it as one, so strict-mode
+		// errors name the user's actual typo rather than complaining that
+		// valid scenario fields are unknown to the wrapper form.
+		var one Scenario
+		if err := strictUnmarshal(trimmed, &one); err != nil {
+			return nil, fmt.Errorf("scenario: manifest: %w", err)
+		}
+		scns = []Scenario{one}
+	}
+	if len(scns) == 0 {
+		return nil, fmt.Errorf("scenario: manifest defines no scenarios")
+	}
+	seen := make(map[string]bool, len(scns))
+	for _, s := range scns {
+		if err := s.Validate(0); err != nil {
+			return nil, err
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("scenario: manifest defines %q twice", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	return scns, nil
+}
+
+// LoadManifest reads and parses a manifest file.
+func LoadManifest(path string) ([]Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	scns, err := ParseManifest(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return scns, nil
+}
+
+// isWrapperObject reports whether the JSON object carries a top-level
+// "scenarios" key (the Manifest wrapper form) — decided loosely, so the
+// strict decode that follows blames the right form's fields.
+func isWrapperObject(data []byte) bool {
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return false
+	}
+	_, ok := probe["scenarios"]
+	return ok
+}
+
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	// Reject trailing garbage after the first JSON value.
+	if dec.More() {
+		return fmt.Errorf("trailing data after manifest JSON")
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+// Package scenario composes trace profiles into declarative, named,
+// digest-stable workload scenarios: per-core heterogeneous co-runners,
+// phase schedules that swap the active profile mid-run (instruction-count
+// or Markov-transition boundaries), and attacker-among-benign mixes built
+// from the synthetic adversary profiles in attackers.go. A Scenario is a
+// pure value type — no pointers, no maps — so it crosses the sweep-service
+// wire verbatim and renders deterministically into sim.Options.Digest,
+// keeping caching, singleflight, and the result store correct for
+// scenario runs exactly as for single-profile runs.
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"secddr/internal/trace"
+)
+
+// Phase is one stage of a core's schedule: a profile active for Instr
+// retired instructions. Instr == 0 marks a terminal phase (active for the
+// rest of the run); under a Markov schedule Instr is ignored.
+type Phase struct {
+	Profile string `json:"profile"`
+	Instr   uint64 `json:"instr,omitempty"`
+}
+
+// Markov turns a core's phase list into a Markov chain: every Interval
+// instructions the active phase is redrawn from Transition[current], a
+// row-stochastic matrix over the phase indices. Interval == 0 disables
+// the chain (ordered instruction-count boundaries apply instead).
+type Markov struct {
+	Interval   uint64      `json:"interval,omitempty"`
+	Transition [][]float64 `json:"transition,omitempty"`
+}
+
+// Enabled reports whether the Markov schedule is active.
+func (m Markov) Enabled() bool { return m.Interval > 0 }
+
+// CoreScript is the schedule one core executes. Phases run in order; Loop
+// restarts the list when the last bounded phase completes. A core keeps
+// per-phase generator state across revisits, so looping back into a phase
+// resumes that program where it left off rather than replaying it.
+type CoreScript struct {
+	Phases []Phase `json:"phases"`
+	Loop   bool    `json:"loop,omitempty"`
+	Markov Markov  `json:"markov,omitzero"`
+}
+
+// Scenario is a named multi-core workload: core i runs Cores[i % len].
+// Fewer scripts than cores round-robin (two scripts on four cores
+// alternate), making heterogeneous co-runner pairs core-count portable.
+type Scenario struct {
+	Name string `json:"name"`
+	// Description is commentary for manifests and listings; it is excluded
+	// from String and therefore from sim.Options.Digest.
+	Description string       `json:"description,omitempty"`
+	Cores       []CoreScript `json:"cores"`
+}
+
+// IsZero reports whether the scenario is unset (sim falls back to the
+// single stationary Workload profile).
+func (s Scenario) IsZero() bool { return s.Name == "" && len(s.Cores) == 0 }
+
+// String renders the canonical digest form: every result-relevant field
+// (name, per-core phase schedules, loop flags, Markov matrices) in a
+// stable, process-independent encoding. fmt's %+v picks this up when a
+// Scenario sits inside sim.Options, so two Options with equal scenarios
+// summarize — and digest — identically.
+func (s Scenario) String() string {
+	if s.IsZero() {
+		return "none"
+	}
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, cs := range s.Cores {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		for j, p := range cs.Phases {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s:%d", p.Profile, p.Instr)
+		}
+		if cs.Loop {
+			b.WriteString("@loop")
+		}
+		if cs.Markov.Enabled() {
+			fmt.Fprintf(&b, "@markov:%d[", cs.Markov.Interval)
+			for r, row := range cs.Markov.Transition {
+				if r > 0 {
+					b.WriteByte('|')
+				}
+				for c, v := range row {
+					if c > 0 {
+						b.WriteByte(' ')
+					}
+					b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+				}
+			}
+			b.WriteByte(']')
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Validate checks the scenario is well formed and every profile resolves.
+// numCores, when > 0, additionally bounds the script count (a scenario
+// with more scripts than cores would silently drop workloads).
+func (s Scenario) Validate(numCores int) error {
+	if s.IsZero() {
+		return nil
+	}
+	if s.Name == "" {
+		return fmt.Errorf("scenario: scenario with %d core scripts has no name", len(s.Cores))
+	}
+	if strings.ContainsAny(s.Name, "/ \t\n") {
+		return fmt.Errorf("scenario %q: name must not contain '/' or whitespace (it becomes a result key)", s.Name)
+	}
+	if _, clash := ProfileByName(s.Name); clash {
+		return fmt.Errorf("scenario %q: name shadows a workload profile; the two would collide in result keys", s.Name)
+	}
+	if len(s.Cores) == 0 {
+		return fmt.Errorf("scenario %q: no core scripts", s.Name)
+	}
+	if numCores > 0 && len(s.Cores) > numCores {
+		return fmt.Errorf("scenario %q: %d core scripts but only %d cores", s.Name, len(s.Cores), numCores)
+	}
+	for ci, cs := range s.Cores {
+		if len(cs.Phases) == 0 {
+			return fmt.Errorf("scenario %q core %d: no phases", s.Name, ci)
+		}
+		for pi, p := range cs.Phases {
+			if _, ok := ProfileByName(p.Profile); !ok {
+				return fmt.Errorf("scenario %q core %d phase %d: unknown profile %q", s.Name, ci, pi, p.Profile)
+			}
+		}
+		if cs.Markov.Enabled() {
+			if cs.Loop {
+				return fmt.Errorf("scenario %q core %d: loop and markov are mutually exclusive", s.Name, ci)
+			}
+			// A Markov schedule never reads Phase.Instr; rejecting it (rather
+			// than silently ignoring it) keeps semantically identical
+			// scenarios from rendering — and digesting — differently.
+			for pi, p := range cs.Phases {
+				if p.Instr != 0 {
+					return fmt.Errorf("scenario %q core %d phase %d (%s): instr is meaningless under a markov schedule (transitions fire every interval)",
+						s.Name, ci, pi, p.Profile)
+				}
+			}
+			n := len(cs.Phases)
+			if len(cs.Markov.Transition) != n {
+				return fmt.Errorf("scenario %q core %d: markov transition has %d rows, want %d (one per phase)",
+					s.Name, ci, len(cs.Markov.Transition), n)
+			}
+			for r, row := range cs.Markov.Transition {
+				if len(row) != n {
+					return fmt.Errorf("scenario %q core %d: markov row %d has %d entries, want %d",
+						s.Name, ci, r, len(row), n)
+				}
+				sum := 0.0
+				for _, v := range row {
+					if v < 0 {
+						return fmt.Errorf("scenario %q core %d: markov row %d has a negative probability", s.Name, ci, r)
+					}
+					sum += v
+				}
+				if sum < 1-1e-6 || sum > 1+1e-6 {
+					return fmt.Errorf("scenario %q core %d: markov row %d sums to %g, want 1", s.Name, ci, r, sum)
+				}
+			}
+		} else {
+			// Symmetric to the Instr-under-Markov rejection above: a
+			// transition matrix without an interval would be silently
+			// ignored, not scheduled.
+			if len(cs.Markov.Transition) > 0 {
+				return fmt.Errorf("scenario %q core %d: markov.transition set but interval is 0 (set markov.interval to enable the schedule)", s.Name, ci)
+			}
+			// Ordered boundaries: every non-terminal phase needs a length,
+			// and a loop must never hit a terminal (unbounded) phase.
+			for pi, p := range cs.Phases {
+				last := pi == len(cs.Phases)-1
+				if p.Instr == 0 && (!last || cs.Loop) {
+					return fmt.Errorf("scenario %q core %d phase %d (%s): instr must be > 0 (only the final phase of a non-looping script may be unbounded)",
+						s.Name, ci, pi, p.Profile)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Script returns the schedule core i executes.
+func (s Scenario) Script(core int) CoreScript { return s.Cores[core%len(s.Cores)] }
+
+// ProfileByName resolves a profile name against the 29 benchmark profiles
+// first, then the synthetic adversary profiles.
+func ProfileByName(name string) (trace.Profile, bool) {
+	if p, ok := trace.ByName(name); ok {
+		return p, true
+	}
+	return attackerByName(name)
+}

@@ -47,7 +47,12 @@ func waitState(t *testing.T, sw *sweep) SweepStatus {
 // executed sweep byte-identical to a local one (same digest, same
 // deterministic simulation, same stored result).
 func TestWireJobRoundTrip(t *testing.T) {
-	for _, sp := range []Spec{tinySpec(), {}, {Modes: []string{"all"}, Workloads: []string{"bc"}, Quick: true, SeedPerJob: true, Channels: 4}} {
+	for _, sp := range []Spec{
+		tinySpec(),
+		{},
+		{Modes: []string{"all"}, Workloads: []string{"bc"}, Quick: true, SeedPerJob: true, Channels: 4},
+		{Modes: []string{"secddr+ctr"}, Scenarios: []string{"all"}, Quick: true},
+	} {
 		grid, err := sp.Grid()
 		if err != nil {
 			t.Fatal(err)

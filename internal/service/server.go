@@ -327,7 +327,7 @@ func (s *Server) completeGroup(sw *sweep, digest string, jobs []harness.Job, res
 	for _, j := range jobs {
 		sw.results = append(sw.results, harness.Outcome{
 			Key:      j.Key,
-			Workload: j.Opt.Workload.Name,
+			Workload: j.Opt.WorkloadName(),
 			Mode:     j.Opt.Config.Security.Mode.String(),
 			Digest:   digest,
 			Cached:   cached,

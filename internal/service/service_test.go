@@ -39,7 +39,7 @@ func (s *memStore) Record(d string, res sim.Result) error {
 // fakeSim is an instant stand-in for sim.Run.
 func fakeSim(o sim.Options) (sim.Result, error) {
 	return sim.Result{
-		Workload: o.Workload.Name,
+		Workload: o.WorkloadName(),
 		Mode:     o.Config.Security.Mode,
 		IPC:      1.0,
 	}, nil

@@ -13,6 +13,7 @@ import (
 	"secddr/internal/config"
 	"secddr/internal/experiments"
 	"secddr/internal/harness"
+	"secddr/internal/scenario"
 	"secddr/internal/trace"
 )
 
@@ -25,8 +26,20 @@ type Spec struct {
 	// (see secddr-sim -list), "all", or "fig6" (the paper's five Fig. 6
 	// configurations). Empty means "fig6".
 	Modes []string `json:"modes,omitempty"`
-	// Workloads names the workload subset; empty or "all" means all 29.
+	// Workloads names the workload subset. "all" means all 29; empty
+	// means all 29 unless the spec requests scenarios, in which case it
+	// means none (a scenario sweep does not implicitly drag the whole
+	// single-profile grid along).
 	Workloads []string `json:"workloads,omitempty"`
+
+	// Scenarios names built-in scenarios (see internal/scenario or
+	// secddr-sim -list), or "all" for the whole built-in library.
+	Scenarios []string `json:"scenarios,omitempty"`
+	// ScenarioDefs carries inline scenario definitions — the parsed form
+	// of a secddr-sweep -scenario-file manifest. Definitions cross the
+	// wire verbatim, so a remote fleet sweep expands to exactly the jobs
+	// (and digests) a local run of the same manifest does.
+	ScenarioDefs []scenario.Scenario `json:"scenario_defs,omitempty"`
 
 	// Quick selects smoke scale (experiments.QuickScale) instead of
 	// figure-quality scale; InstrPerCore/WarmupInstr override either.
@@ -69,7 +82,18 @@ func (sp Spec) Grid() (harness.Grid, error) {
 			return harness.Grid{}, fmt.Errorf("service: config %q: %w", nc.Label, err)
 		}
 	}
-	profiles, err := sp.profiles()
+	scenarios, err := sp.scenarios()
+	if err != nil {
+		return harness.Grid{}, err
+	}
+	for _, scn := range scenarios {
+		for _, nc := range configs {
+			if err := scn.Validate(nc.Config.Core.NumCores); err != nil {
+				return harness.Grid{}, fmt.Errorf("service: config %q: %w", nc.Label, err)
+			}
+		}
+	}
+	profiles, err := sp.profiles(len(scenarios) > 0)
 	if err != nil {
 		return harness.Grid{}, err
 	}
@@ -91,6 +115,7 @@ func (sp Spec) Grid() (harness.Grid, error) {
 
 	return harness.Grid{
 		Workloads:    profiles,
+		Scenarios:    scenarios,
 		Configs:      configs,
 		InstrPerCore: scale.InstrPerCore,
 		WarmupInstr:  scale.WarmupInstr,
@@ -124,9 +149,44 @@ func (sp Spec) configs() ([]harness.NamedConfig, error) {
 	return out, nil
 }
 
-// profiles expands Workloads into trace profiles.
-func (sp Spec) profiles() ([]trace.Profile, error) {
+// scenarios expands Scenarios and ScenarioDefs, rejecting duplicate
+// names (two scenarios sharing a name would collide in result keys).
+func (sp Spec) scenarios() ([]scenario.Scenario, error) {
+	var out []scenario.Scenario
+	for _, name := range sp.Scenarios {
+		name = strings.TrimSpace(name)
+		if name == "all" {
+			out = append(out, scenario.Builtins()...)
+			continue
+		}
+		s, ok := scenario.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("service: unknown scenario %q (see secddr-sim -list)", name)
+		}
+		out = append(out, s)
+	}
+	out = append(out, sp.ScenarioDefs...)
+	seen := make(map[string]bool, len(out))
+	for _, s := range out {
+		if err := s.Validate(0); err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("service: scenario %q requested twice", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	return out, nil
+}
+
+// profiles expands Workloads into trace profiles. An empty list means
+// every profile — unless the spec is a scenario sweep, which starts from
+// an empty workload set.
+func (sp Spec) profiles(haveScenarios bool) ([]trace.Profile, error) {
 	if len(sp.Workloads) == 0 {
+		if haveScenarios {
+			return nil, nil
+		}
 		return trace.Profiles(), nil
 	}
 	var out []trace.Profile

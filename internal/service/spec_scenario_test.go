@@ -1,0 +1,149 @@
+package service
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"secddr/internal/scenario"
+)
+
+// scenarioSpec is a 1-scenario x 2-mode grid for expansion tests.
+func scenarioSpec() Spec {
+	return Spec{
+		Modes:        []string{"unprotected", "secddr+ctr"},
+		Scenarios:    []string{"thrash-one"},
+		InstrPerCore: 5_000,
+		WarmupInstr:  1_000,
+	}
+}
+
+func TestSpecScenarioExpansion(t *testing.T) {
+	grid, err := scenarioSpec().Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A scenario sweep with no explicit workloads must NOT drag the 29
+	// single-profile workloads along.
+	if len(grid.Workloads) != 0 {
+		t.Fatalf("scenario-only spec expanded %d profile workloads", len(grid.Workloads))
+	}
+	jobs := grid.Jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("want 2 jobs, got %d", len(jobs))
+	}
+	if jobs[0].Key != "thrash-one/unprotected" {
+		t.Fatalf("job key = %q", jobs[0].Key)
+	}
+	if jobs[0].Opt.Scenario.IsZero() || jobs[0].Opt.Workload.Name != "" {
+		t.Fatalf("scenario job options malformed: %+v", jobs[0].Opt)
+	}
+
+	// Explicit workloads and scenarios combine.
+	sp := scenarioSpec()
+	sp.Workloads = []string{"mcf"}
+	grid, err = sp.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(grid.Jobs()); n != 4 {
+		t.Fatalf("mixed spec expands to %d jobs, want 4", n)
+	}
+
+	// "all" expands the whole built-in library.
+	sp = scenarioSpec()
+	sp.Scenarios = []string{"all"}
+	grid, err = sp.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(scenario.Builtins()); len(grid.Jobs()) != want {
+		t.Fatalf("scenarios=all expands to %d jobs, want %d", len(grid.Jobs()), want)
+	}
+}
+
+func TestSpecScenarioRejections(t *testing.T) {
+	mk := func(mut func(*Spec)) Spec {
+		sp := scenarioSpec()
+		mut(&sp)
+		return sp
+	}
+	fiveScripts := scenario.Scenario{Name: "wide", Cores: make([]scenario.CoreScript, 5)}
+	for i := range fiveScripts.Cores {
+		fiveScripts.Cores[i] = scenario.CoreScript{Phases: []scenario.Phase{{Profile: "mcf"}}}
+	}
+	cases := map[string]Spec{
+		"unknown scenario": mk(func(sp *Spec) { sp.Scenarios = []string{"no-such-scenario"} }),
+		"duplicate name": mk(func(sp *Spec) {
+			def, _ := scenario.ByName("thrash-one")
+			sp.ScenarioDefs = []scenario.Scenario{def}
+		}),
+		"invalid def": mk(func(sp *Spec) {
+			sp.ScenarioDefs = []scenario.Scenario{{Name: "bad", Cores: []scenario.CoreScript{{}}}}
+		}),
+		"too many scripts for platform": mk(func(sp *Spec) {
+			sp.Scenarios = nil
+			sp.ScenarioDefs = []scenario.Scenario{fiveScripts}
+		}),
+	}
+	for name, sp := range cases {
+		if _, err := sp.Grid(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// A spec carrying an inline manifest definition must expand to identical
+// jobs (keys and digests) after a JSON round trip — the property that
+// makes -scenario-file sweeps byte-identical between local and -server
+// execution.
+func TestSpecScenarioWireRoundTrip(t *testing.T) {
+	manifest := `{
+		"name": "custom-phases",
+		"description": "phase-switching heterogeneous pair",
+		"cores": [
+			{"phases": [{"profile": "mcf", "instr": 3000}, {"profile": "gcc", "instr": 3000}], "loop": true},
+			{"phases": [{"profile": "attacker-rowthrash"}]}
+		]
+	}`
+	defs, err := scenario.ParseManifest([]byte(manifest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := Spec{
+		Modes:        []string{"secddr+ctr"},
+		ScenarioDefs: defs,
+		Quick:        true,
+	}
+	grid, err := sp.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := grid.Jobs()
+	if len(jobs) != 1 || !strings.HasPrefix(jobs[0].Key, "custom-phases/") {
+		t.Fatalf("unexpected jobs: %+v", jobs)
+	}
+
+	raw, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Spec
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	grid2, err := back.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs2 := grid2.Jobs()
+	if len(jobs2) != len(jobs) {
+		t.Fatalf("round trip changed job count: %d -> %d", len(jobs), len(jobs2))
+	}
+	for i := range jobs {
+		if jobs[i].Key != jobs2[i].Key || jobs[i].Opt.Digest() != jobs2[i].Opt.Digest() {
+			t.Fatalf("round trip changed job %d: %q/%s -> %q/%s",
+				i, jobs[i].Key, jobs[i].Opt.Digest(), jobs2[i].Key, jobs2[i].Opt.Digest())
+		}
+	}
+}

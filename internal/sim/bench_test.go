@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"secddr/internal/config"
+	"secddr/internal/scenario"
 	"secddr/internal/trace"
 )
 
@@ -96,5 +97,29 @@ func BenchmarkQuickScaleStallHeavyTickLoop(b *testing.B) {
 		if _, err := runTickLoop(opt); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkScenarioPhaseSwitch measures the scenario engine's overhead on
+// a phase-alternating schedule under SecDDR+CTR: the same simulator core
+// as QuickScale plus per-op phase accounting and mid-run generator swaps.
+func BenchmarkScenarioPhaseSwitch(b *testing.B) {
+	scn, ok := scenario.ByName("phase-alternate")
+	if !ok {
+		b.Fatal("unknown scenario phase-alternate")
+	}
+	opt := Options{
+		Config:       config.Table1(config.ModeSecDDRCTR),
+		Scenario:     scn,
+		InstrPerCore: 60_000,
+		WarmupInstr:  30_000,
+		Seed:         42,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := Run(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.IPC, "sim-IPC")
 	}
 }

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"secddr/internal/config"
+	"secddr/internal/scenario"
+	"secddr/internal/trace"
+)
+
+func scenarioOptions(t *testing.T, name string) Options {
+	t.Helper()
+	scn, ok := scenario.ByName(name)
+	if !ok {
+		t.Fatalf("unknown built-in scenario %q", name)
+	}
+	return Options{
+		Config:       config.Table1(config.ModeUnprotected),
+		Scenario:     scn,
+		InstrPerCore: 30_000,
+		WarmupInstr:  10_000,
+		Seed:         42,
+	}
+}
+
+// A heterogeneous scenario must run end-to-end and label its result with
+// the scenario name.
+func TestScenarioRunEndToEnd(t *testing.T) {
+	res, err := Run(scenarioOptions(t, "stream-chase"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "stream-chase" {
+		t.Fatalf("Result.Workload = %q, want scenario name", res.Workload)
+	}
+	if res.IPC <= 0 || res.Instructions == 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	if len(res.PerCoreIPC) != 4 {
+		t.Fatalf("want 4 per-core IPCs, got %d", len(res.PerCoreIPC))
+	}
+	// stream-chase alternates lbm (cores 0,2) and mcf (cores 1,3): the
+	// co-runners are genuinely heterogeneous, so the IPC split must be too.
+	if res.PerCoreIPC[0] == res.PerCoreIPC[1] {
+		t.Fatalf("heterogeneous co-runners produced identical per-core IPC: %+v", res.PerCoreIPC)
+	}
+}
+
+// Every built-in scenario must simulate cleanly at smoke scale under a
+// protected mode (the metadata path is what the attacker mixes stress).
+func TestBuiltinScenariosRun(t *testing.T) {
+	for _, scn := range scenario.Builtins() {
+		scn := scn
+		t.Run(scn.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(Options{
+				Config:       config.Table1(config.ModeSecDDRCTR),
+				Scenario:     scn,
+				InstrPerCore: 12_000,
+				WarmupInstr:  4_000,
+				Seed:         42,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Workload != scn.Name || res.IPC <= 0 {
+				t.Fatalf("bad result for %s: %+v", scn.Name, res)
+			}
+		})
+	}
+}
+
+// The digest satellite: every built-in scenario's digest is stable across
+// recomputation and a JSON wire round trip, and distinct across scenarios
+// (and from the plain-profile digest of the same scale).
+func TestScenarioDigestsStableAndDistinct(t *testing.T) {
+	mcf, _ := trace.ByName("mcf")
+	plain := Options{
+		Config:       config.Table1(config.ModeSecDDRCTR),
+		Workload:     mcf,
+		InstrPerCore: 30_000,
+		WarmupInstr:  10_000,
+		Seed:         42,
+	}
+	seen := map[string]string{plain.Digest(): "plain/mcf"}
+	for _, scn := range scenario.Builtins() {
+		opt := plain
+		opt.Workload = trace.Profile{}
+		opt.Scenario = scn
+		d := opt.Digest()
+		if d != opt.Digest() {
+			t.Fatalf("%s: digest unstable across recomputation", scn.Name)
+		}
+		raw, err := json.Marshal(opt)
+		if err != nil {
+			t.Fatalf("%s: marshal options: %v", scn.Name, err)
+		}
+		var back Options
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("%s: unmarshal options: %v", scn.Name, err)
+		}
+		if back.Digest() != d {
+			t.Fatalf("%s: JSON round trip changed the digest:\n  %s\n  %s", scn.Name, opt.Summary(), back.Summary())
+		}
+		if prev, dup := seen[d]; dup {
+			t.Fatalf("scenario %s collides with %s", scn.Name, prev)
+		}
+		seen[d] = scn.Name
+	}
+}
+
+// Scenario and Workload are mutually exclusive, and scenarios that do not
+// fit the platform must fail fast.
+func TestScenarioOptionValidation(t *testing.T) {
+	opt := scenarioOptions(t, "thrash-one")
+	mcf, _ := trace.ByName("mcf")
+	opt.Workload = mcf
+	if _, err := Run(opt); err == nil {
+		t.Error("Scenario+Workload accepted")
+	}
+
+	opt = scenarioOptions(t, "thrash-one")
+	opt.Config.Core.NumCores = 2 // fewer cores than scripts
+	if _, err := Run(opt); err == nil {
+		t.Error("4-script scenario accepted on a 2-core platform")
+	}
+}
+
+// The event-driven fast-forward must stay result-identical to the
+// reference tick loop for phase-switching scenario workloads too.
+func TestScenarioEventDrivenMatchesTickLoop(t *testing.T) {
+	for _, name := range []string{"phase-alternate", "thrash-one"} {
+		opt := scenarioOptions(t, name)
+		opt.Config = config.Table1(config.ModeSecDDRCTR)
+		opt.InstrPerCore = 15_000
+		opt.WarmupInstr = 5_000
+		fast, err := Run(opt)
+		if err != nil {
+			t.Fatalf("%s: event-driven: %v", name, err)
+		}
+		ref, err := runTickLoop(opt)
+		if err != nil {
+			t.Fatalf("%s: tick loop: %v", name, err)
+		}
+		if !reflect.DeepEqual(fast, ref) {
+			t.Errorf("%s: event-driven diverges from reference:\n fast: %+v\n  ref: %+v", name, fast, ref)
+		}
+	}
+}

@@ -15,19 +15,36 @@ import (
 	"secddr/internal/cache"
 	"secddr/internal/config"
 	"secddr/internal/cpu"
+	"secddr/internal/scenario"
 	"secddr/internal/secmem"
 	"secddr/internal/trace"
 )
 
 // Options configures one simulation run.
 type Options struct {
-	Config       config.Config
-	Workload     trace.Profile
+	Config   config.Config
+	Workload trace.Profile
+	// Scenario, when non-zero, replaces Workload with a multi-core,
+	// phase-structured workload (see internal/scenario): each core runs
+	// its script's phase schedule instead of one stationary profile. The
+	// scenario renders into Summary via its canonical Stringer, so it is
+	// part of the digest; Workload must be left zero when Scenario is set.
+	Scenario     scenario.Scenario
 	InstrPerCore uint64 // measured retirement target per core
 	WarmupInstr  uint64 // per-core instructions before measurement starts
 	Seed         uint64
 	MSHRsPerCore int   // outstanding LLC misses per core (default 16)
 	MaxCycles    int64 // safety cap on CPU cycles (default 400x instr target)
+}
+
+// WorkloadName names what the run executes: the scenario name for
+// scenario runs, the profile name otherwise. Result.Workload and the
+// harness's outcome labels use it.
+func (o Options) WorkloadName() string {
+	if !o.Scenario.IsZero() {
+		return o.Scenario.Name
+	}
+	return o.Workload.Name
 }
 
 // withDefaults returns the options with the derived defaults Run applies,
@@ -43,6 +60,28 @@ func (o Options) withDefaults() Options {
 		o.MaxCycles = int64(o.InstrPerCore+o.WarmupInstr) * 400
 	}
 	return o
+}
+
+// opSource is what a core's workload supplies: the op stream plus the
+// hot-set visitor the functional warmup uses. Both the stationary
+// trace.Generator and the phase-aware scenario.Source satisfy it.
+type opSource interface {
+	cpu.OpSource
+	VisitHotPages(fn func(pageAddr uint64))
+}
+
+// newCoreSource builds core i's op source: a phase-aware scenario source
+// when a Scenario is set, the single stationary profile otherwise. Every
+// core keeps its established disjoint 2GB physical window and per-core
+// seed derivation; saltExtra distinguishes the warmup stream from the
+// measured one.
+func (o Options) newCoreSource(i int, saltExtra uint64) (opSource, error) {
+	base := uint64(i) * (2 << 30)
+	seed := o.Seed + uint64(i)*0x1234567 + saltExtra
+	if !o.Scenario.IsZero() {
+		return scenario.NewSource(o.Scenario, i, base, seed)
+	}
+	return trace.NewGenerator(o.Workload, base, seed)
 }
 
 // debugHook, when set by a test, observes the system after each simulated
@@ -470,6 +509,14 @@ func runSystem(opt Options, tickLoop bool) (*system, error) {
 	if err := opt.Config.Validate(); err != nil {
 		return nil, err
 	}
+	if !opt.Scenario.IsZero() {
+		if opt.Workload.Name != "" {
+			return nil, fmt.Errorf("sim: Scenario %q and Workload %q are mutually exclusive", opt.Scenario.Name, opt.Workload.Name)
+		}
+		if err := opt.Scenario.Validate(opt.Config.Core.NumCores); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+	}
 
 	engine, err := secmem.NewEngine(opt.Config)
 	if err != nil {
@@ -496,7 +543,7 @@ func runSystem(opt Options, tickLoop bool) (*system, error) {
 	s.finishCycle = make([]int64, n)
 	s.warmCycle = make([]int64, n)
 	for i := 0; i < n; i++ {
-		gen, err := trace.NewGenerator(opt.Workload, uint64(i)*(2<<30), opt.Seed+uint64(i)*0x1234567)
+		gen, err := opt.newCoreSource(i, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -504,7 +551,7 @@ func runSystem(opt Options, tickLoop bool) (*system, error) {
 		// a statistically equivalent address stream (different seed) so the
 		// measured region starts from a full cache — evictions and dirty
 		// writebacks flow from the first cycle, as in steady state.
-		warmGen, err := trace.NewGenerator(opt.Workload, uint64(i)*(2<<30), opt.Seed+uint64(i)*0x1234567+0x9e3779b9)
+		warmGen, err := opt.newCoreSource(i, 0x9e3779b9)
 		if err != nil {
 			return nil, err
 		}
@@ -585,14 +632,14 @@ func runSystem(opt Options, tickLoop bool) (*system, error) {
 	}
 	if remaining > 0 {
 		return nil, fmt.Errorf("sim: %s/%v exceeded cycle cap %d (%d cores unfinished)",
-			opt.Workload.Name, opt.Config.Security.Mode, opt.MaxCycles, remaining)
+			opt.WorkloadName(), opt.Config.Security.Mode, opt.MaxCycles, remaining)
 	}
 	return s, nil
 }
 
 func (s *system) collect() Result {
 	r := Result{
-		Workload: s.opt.Workload.Name,
+		Workload: s.opt.WorkloadName(),
 		Mode:     s.opt.Config.Security.Mode,
 		Cycles:   s.cpuNow,
 	}

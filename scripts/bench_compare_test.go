@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBenchLineParsing(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: secddr/internal/sim
+cpu: Intel(R) Xeon(R) Processor
+BenchmarkQuickScaleEventDriven-8   	       1	241221170 ns/op	         1.146 Mcycles/s
+BenchmarkQuickScaleEventDriven-8   	       1	250000000 ns/op	         1.101 Mcycles/s
+BenchmarkStoreFlush/checkpoint-v1-8         	     100	   1520000 ns/op
+BenchmarkStoreFlush/resultstore-8           	     100	      5200 ns/op
+PASS
+ok  	secddr/internal/sim	1.2s
+`
+	path := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	samples := make(map[string][]float64)
+	if err := parseFile(path, samples); err != nil {
+		t.Fatal(err)
+	}
+	// The -8 GOMAXPROCS suffix is stripped; sub-benchmark names (including
+	// ones ending in a non-numeric dash segment like -v1) survive intact.
+	if got := samples["BenchmarkQuickScaleEventDriven"]; len(got) != 2 {
+		t.Fatalf("EventDriven samples = %v", got)
+	}
+	if got := samples["BenchmarkStoreFlush/checkpoint-v1"]; len(got) != 1 || got[0] != 1520000 {
+		t.Fatalf("checkpoint-v1 samples = %v", got)
+	}
+	if got := samples["BenchmarkStoreFlush/resultstore"]; len(got) != 1 || got[0] != 5200 {
+		t.Fatalf("resultstore samples = %v", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{5, 1, 3}); m != 3 {
+		t.Fatalf("odd median = %v", m)
+	}
+	if m := median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("even median = %v", m)
+	}
+	// median must not mutate its input ordering
+	in := []float64{9, 1, 5}
+	_ = median(in)
+	if in[0] != 9 || in[2] != 5 {
+		t.Fatalf("median mutated input: %v", in)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"secddr/internal/harness"
 	"secddr/internal/protocol"
 	"secddr/internal/resultstore"
+	"secddr/internal/scenario"
 	"secddr/internal/service"
 	"secddr/internal/sim"
 	"secddr/internal/trace"
@@ -125,6 +126,24 @@ func Workloads() []Workload { return trace.Profiles() }
 
 // WorkloadByName looks up one profile.
 func WorkloadByName(name string) (Workload, bool) { return trace.ByName(name) }
+
+// Scenario is a declarative multi-core workload: per-core heterogeneous
+// profile assignment, phase schedules (instruction-count or Markov
+// boundaries), and attacker-among-benign mixes. Set SimOptions.Scenario
+// to run one. See internal/scenario.
+type Scenario = scenario.Scenario
+
+// Scenarios returns the built-in scenario library.
+func Scenarios() []Scenario { return scenario.Builtins() }
+
+// ScenarioByName looks up one built-in scenario.
+func ScenarioByName(name string) (Scenario, bool) { return scenario.ByName(name) }
+
+// ParseScenarioManifest decodes and validates a JSON scenario manifest
+// (the secddr-sweep -scenario-file format; see examples/scenarios/).
+func ParseScenarioManifest(data []byte) ([]Scenario, error) {
+	return scenario.ParseManifest(data)
+}
 
 // --- Experiment harness ---------------------------------------------------
 
