@@ -170,6 +170,60 @@ func BenchmarkSweepCached(b *testing.B) {
 	b.ReportMetric(float64(len(c.Jobs)), "points/op")
 }
 
+// forkSweepJobs is a stall-heavy one-group sweep: one pointer-chasing
+// workload under three security modes, with a warmup three times the
+// measured region — the shape where fork-after-warmup pays most.
+func forkSweepJobs(b *testing.B) []harness.Job {
+	mcf, ok := trace.ByName("mcf")
+	if !ok {
+		b.Fatal("workload mcf missing")
+	}
+	modes := []config.Mode{config.ModeSecDDRXTS, config.ModeIntegrityTree, config.ModeSecDDRCTR}
+	jobs := make([]harness.Job, 0, len(modes))
+	for _, m := range modes {
+		cfg := config.Table1(m)
+		cfg.Core.NumCores = 1
+		jobs = append(jobs, harness.Job{
+			Key: "mcf/" + m.String(),
+			Opt: sim.Options{
+				Config:       cfg,
+				Workload:     mcf,
+				InstrPerCore: 40_000,
+				WarmupInstr:  120_000,
+				Seed:         42,
+			},
+		})
+	}
+	return jobs
+}
+
+// BenchmarkForkedSweep runs the stall-heavy sweep with the default
+// fork-after-warmup scheduler: one warmup, three forks.
+func BenchmarkForkedSweep(b *testing.B) {
+	jobs := forkSweepJobs(b)
+	for i := 0; i < b.N; i++ {
+		if _, stats, err := harness.Run(harness.Campaign{Jobs: jobs, Workers: 1}); err != nil {
+			b.Fatal(err)
+		} else if stats.Executed != len(jobs) {
+			b.Fatalf("stats = %+v, want %d executed", stats, len(jobs))
+		}
+	}
+}
+
+// BenchmarkColdSweep is the same sweep forced cold (Sim: sim.Run bypasses
+// the fork scheduler), paying one full warmup per point. The
+// ForkedSweep/ColdSweep ratio is the headline speedup of PR 6.
+func BenchmarkColdSweep(b *testing.B) {
+	jobs := forkSweepJobs(b)
+	for i := 0; i < b.N; i++ {
+		if _, stats, err := harness.Run(harness.Campaign{Jobs: jobs, Workers: 1, Sim: sim.Run}); err != nil {
+			b.Fatal(err)
+		} else if stats.Executed != len(jobs) {
+			b.Fatalf("stats = %+v, want %d executed", stats, len(jobs))
+		}
+	}
+}
+
 func BenchmarkTable2_Power(b *testing.B) {
 	unit := analysis.ReferenceAESUnit()
 	for i := 0; i < b.N; i++ {

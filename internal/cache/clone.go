@@ -1,0 +1,43 @@
+package cache
+
+// Clone returns a deep copy of the cache: identical geometry, content,
+// recency state, and statistics, sharing no storage with the original.
+// The copy reproduces New's single-backing-array layout (one allocation,
+// capacity-capped per-set subslices), so a clone behaves and allocates
+// exactly like a freshly built cache that replayed the same accesses.
+func (c *Cache) Clone() *Cache {
+	n := new(Cache)
+	*n = *c
+	sets := len(c.sets)
+	n.sets = make([][]line, sets)
+	ways := make([]line, sets*c.geom.Ways)
+	for i := range n.sets {
+		n.sets[i] = ways[i*c.geom.Ways : (i+1)*c.geom.Ways : (i+1)*c.geom.Ways]
+		copy(n.sets[i], c.sets[i])
+	}
+	return n
+}
+
+// VisitResident calls fn for every valid line with its reconstructed
+// physical address and dirty bit, in deterministic set-major, way-minor
+// order. It reads only: no statistics or recency state change, so it is
+// safe to call between measurement phases.
+func (c *Cache) VisitResident(fn func(addr uint64, dirty bool)) {
+	for set := range c.sets {
+		for i := range c.sets[set] {
+			ln := &c.sets[set][i]
+			if ln.valid {
+				fn(c.reconstruct(uint64(set), ln.tag), ln.dirty)
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy of the prefetcher, including stream-detection
+// state and statistics.
+func (p *StreamPrefetcher) Clone() *StreamPrefetcher {
+	n := new(StreamPrefetcher)
+	*n = *p
+	n.streams = append([]stream(nil), p.streams...)
+	return n
+}

@@ -1,0 +1,50 @@
+package dram
+
+// Clone returns a deep copy of the channel: configuration, per-bank row
+// and timing state, rank refresh/tFAW state, bus occupancy, and statistics.
+func (c *Channel) Clone() *Channel {
+	n := new(Channel)
+	*n = *c
+	n.rank = cloneRanks(c.rank)
+	return n
+}
+
+// AdoptState grafts src's dynamic DRAM state — per-bank open rows and
+// command-timing horizons, rank refresh and tFAW activation windows, data
+// bus occupancy, and the statistics counters — onto c, which keeps its own
+// configuration and derived burst lengths. Every timing horizon is an
+// absolute memory-clock cycle, so the grafted state stays valid under a
+// configuration that differs only in fields outside the channel geometry
+// (the write burst length, for eWCRC modes). The two channels must have
+// identical organization: same ranks, bank groups, and banks per group.
+func (c *Channel) AdoptState(src *Channel) {
+	c.rank = cloneRanks(src.rank)
+	c.dataBusFreeAt = src.dataBusFreeAt
+	c.lastBurstRank = src.lastBurstRank
+	c.lastCmdCycle = src.lastCmdCycle
+	c.NumACT = src.NumACT
+	c.NumPRE = src.NumPRE
+	c.NumRD = src.NumRD
+	c.NumWR = src.NumWR
+	c.NumREF = src.NumREF
+	c.RowHits = src.RowHits
+	c.RowMisses = src.RowMisses
+	c.RowConflicts = src.RowConflicts
+	c.DataBusBusyCycles = src.DataBusBusyCycles
+}
+
+func cloneRanks(src []rankState) []rankState {
+	out := make([]rankState, len(src))
+	copy(out, src)
+	for i := range out {
+		out[i].banks = append([]bankState(nil), src[i].banks...)
+	}
+	return out
+}
+
+// Clone returns a copy of the mapper. Mappers are pure bit-slicing values;
+// the copy exists so forked controllers share nothing by construction.
+func (m *AddressMapper) Clone() *AddressMapper {
+	n := *m
+	return &n
+}

@@ -1,0 +1,172 @@
+package harness
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"secddr/internal/config"
+	"secddr/internal/sim"
+	"secddr/internal/trace"
+)
+
+// memStore is a minimal in-memory Store for resume tests.
+type memStore struct {
+	mu sync.Mutex
+	m  map[string]sim.Result
+}
+
+func newMemStore() *memStore { return &memStore{m: map[string]sim.Result{}} }
+
+func (s *memStore) Lookup(d string) (sim.Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, ok := s.m[d]
+	return res, ok
+}
+
+func (s *memStore) Record(d string, res sim.Result) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[d] = res
+	return nil
+}
+
+// forkGrid is a 2-workload x 3-mode campaign: two snapshot groups of three
+// points each, the smallest grid that exercises warmup sharing.
+func forkGrid() Grid {
+	mcf, _ := trace.ByName("mcf")
+	lbm, _ := trace.ByName("lbm")
+	return Grid{
+		Workloads: []trace.Profile{mcf, lbm},
+		Configs: []NamedConfig{
+			{Label: "unprotected", Config: config.Table1(config.ModeUnprotected)},
+			{Label: "secddr+xts", Config: config.Table1(config.ModeSecDDRXTS)},
+			{Label: "secddr+ctr", Config: config.Table1(config.ModeSecDDRCTR)},
+		},
+		InstrPerCore: 5_000,
+		WarmupInstr:  1_000,
+		Seed:         42,
+	}
+}
+
+// TestWarmupSharedPerGroup proves the headline economics: a W-workload x
+// M-mode grid executes exactly W warmups, not W*M. The counter is
+// process-global, so this test must not run concurrently with other
+// simulating tests (package tests are serial by default; none here call
+// t.Parallel).
+func TestWarmupSharedPerGroup(t *testing.T) {
+	jobs := forkGrid().Jobs()
+	before := sim.WarmupRuns()
+	outs, stats, err := Run(Campaign{Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta := sim.WarmupRuns() - before; delta != 2 {
+		t.Errorf("warmups = %d, want 2 (one per workload group)", delta)
+	}
+	if stats.Executed != 6 {
+		t.Errorf("Executed = %d, want 6", stats.Executed)
+	}
+	if len(outs) != 6 {
+		t.Fatalf("outcomes = %d, want 6", len(outs))
+	}
+
+	// Every forked result must match its cold run bit-for-bit.
+	for _, o := range outs[:2] {
+		var opt sim.Options
+		for _, j := range jobs {
+			if j.Key == o.Key {
+				opt = j.Opt
+			}
+		}
+		cold, err := sim.Run(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(o.Result, cold) {
+			t.Errorf("%s: forked result differs from cold run", o.Key)
+		}
+	}
+}
+
+// TestForkResumeHalfCached resumes a campaign whose store already holds one
+// whole snapshot group: only the missing group's warmup runs.
+func TestForkResumeHalfCached(t *testing.T) {
+	jobs := forkGrid().Jobs()
+	store := newMemStore()
+
+	// Pre-populate the store with the mcf half of the grid.
+	if _, stats, err := Run(Campaign{Jobs: jobs[:3], Store: store}); err != nil {
+		t.Fatal(err)
+	} else if stats.Executed != 3 {
+		t.Fatalf("pre-run Executed = %d, want 3", stats.Executed)
+	}
+
+	before := sim.WarmupRuns()
+	_, stats, err := Run(Campaign{Jobs: jobs, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cached != 3 || stats.Executed != 3 {
+		t.Errorf("stats = %+v, want Cached 3 / Executed 3", stats)
+	}
+	if delta := sim.WarmupRuns() - before; delta != 1 {
+		t.Errorf("warmups on resume = %d, want 1 (mcf group fully cached)", delta)
+	}
+}
+
+// TestForkedRunDeterministicOrder runs the same fresh grid twice and
+// compares the emitted JSON byte-for-byte. Snapshot groups are formed from
+// the deterministic dispatch order, never from map iteration, so two runs
+// must execute, record, and emit identically.
+func TestForkedRunDeterministicOrder(t *testing.T) {
+	emit := func() []byte {
+		outs, stats, err := Run(Campaign{Jobs: forkGrid().Jobs(), Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, outs, stats); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := emit(), emit()
+	if !bytes.Equal(a, b) {
+		t.Error("two identical forked campaigns emitted different JSON")
+	}
+}
+
+// TestFig6GroupingByWarmupKey checks the grouping arithmetic on a
+// figure-6-shaped grid (every built-in workload x 3 modes) without running
+// anything: per seed and scale there are exactly as many snapshot groups —
+// and hence warmups — as workloads.
+func TestFig6GroupingByWarmupKey(t *testing.T) {
+	g := Grid{
+		Workloads: trace.Profiles(),
+		Configs: []NamedConfig{
+			{Label: "integrity-tree", Config: config.Table1(config.ModeIntegrityTree)},
+			{Label: "secddr+ctr", Config: config.Table1(config.ModeSecDDRCTR)},
+			{Label: "secddr+xts", Config: config.Table1(config.ModeSecDDRXTS)},
+		},
+		InstrPerCore: 120_000,
+		WarmupInstr:  60_000,
+		Seed:         42,
+	}
+	jobs := g.Jobs()
+	keys := map[string][]string{}
+	for _, j := range jobs {
+		k := j.Opt.WarmupKey()
+		keys[k] = append(keys[k], j.Key)
+	}
+	if len(keys) != len(g.Workloads) {
+		t.Errorf("distinct warmup keys = %d, want %d (one per workload)", len(keys), len(g.Workloads))
+	}
+	for k, members := range keys {
+		if len(members) != len(g.Configs) {
+			t.Errorf("group %s has %d members %v, want %d", k[:16], len(members), members, len(g.Configs))
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"secddr/internal/sim"
+)
+
+// This file holds the two campaign schedulers behind RunContext.
+//
+// runFlat is the classic pool: every pending point is one call to the
+// substituted Sim function. runForked is the default for the built-in
+// simulator: points whose options share a sim.WarmupKey form a snapshot
+// group that warms once (sim.Warmup) and forks every member from the
+// snapshot (sim.Warmed.Fork). Forking is result-identical to a cold run —
+// the sim package's snapshot identity suite is the proof — so the caching,
+// dedup, and store semantics are unchanged; only redundant warmups
+// disappear.
+
+// runFlat executes each pending point with c.Sim on a bounded pool. On the
+// first error (or ctx cancellation) it stops dispatching and waits for
+// in-flight points, whose results still reach the store.
+func (c Campaign) runFlat(ctx context.Context, order []string, pending map[string]sim.Options,
+	keyOf map[string]string, store Store, executed map[string]sim.Result,
+	mu *sync.Mutex, firstErr *error) {
+
+	var wg sync.WaitGroup
+	ch := make(chan string)
+	for w := 0; w < c.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for d := range ch {
+				res, err := c.Sim(pending[d])
+				if err != nil && c.OnError != nil {
+					c.OnError(d, err)
+				}
+				if err == nil {
+					// The store has its own lock, so disk flushes never
+					// serialize result collection under mu.
+					err = store.Record(d, res)
+				}
+				mu.Lock()
+				if err != nil {
+					if *firstErr == nil {
+						*firstErr = fmt.Errorf("%s: %w", keyOf[d], err)
+					}
+				} else {
+					executed[d] = res
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+dispatch:
+	for _, d := range order {
+		mu.Lock()
+		failed := *firstErr != nil
+		mu.Unlock()
+		if failed {
+			break dispatch
+		}
+		select {
+		case ch <- d:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// runForked executes the pending points with warmup sharing. Groups are
+// formed by iterating the deterministic order slice, never the pending
+// map: map iteration would randomize group and store-append order between
+// identical runs (the emitted JSON stays byte-identical either way, but
+// determinism everywhere is what keeps that property easy to trust).
+// Single-point groups run sim.Run directly — forking a snapshot used once
+// would pay a deep copy for nothing. Fork tasks are scheduled in
+// preference to warmup tasks so snapshots retire (and free their memory)
+// before new ones are created.
+func (c Campaign) runForked(ctx context.Context, order []string, pending map[string]sim.Options,
+	keyOf map[string]string, store Store, executed map[string]sim.Result,
+	mu *sync.Mutex, firstErr *error) {
+
+	type group struct{ digests []string }
+	groupIdx := make(map[string]int)
+	var groups []*group
+	for _, d := range order {
+		k := pending[d].WarmupKey()
+		gi, ok := groupIdx[k]
+		if !ok {
+			gi = len(groups)
+			groupIdx[k] = gi
+			groups = append(groups, &group{})
+		}
+		groups[gi].digests = append(groups[gi].digests, d)
+	}
+
+	type forkTask struct {
+		warmed *sim.Warmed
+		digest string
+	}
+	var (
+		qmu    sync.Mutex
+		cond   = sync.NewCond(&qmu)
+		warms  = groups
+		forks  []forkTask
+		active int
+	)
+	// aborted is checked before claiming each task; in-flight tasks always
+	// finish (their results still reach the store). Lock order: qmu, then
+	// mu — never the reverse.
+	aborted := func() bool {
+		if ctx.Err() != nil {
+			return true
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return *firstErr != nil
+	}
+	finish := func(d string, res sim.Result, err error) {
+		if err != nil && c.OnError != nil {
+			c.OnError(d, err)
+		}
+		if err == nil {
+			err = store.Record(d, res)
+		}
+		mu.Lock()
+		if err != nil {
+			if *firstErr == nil {
+				*firstErr = fmt.Errorf("%s: %w", keyOf[d], err)
+			}
+		} else {
+			executed[d] = res
+		}
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < c.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				qmu.Lock()
+				for len(forks) == 0 && len(warms) == 0 && active > 0 {
+					cond.Wait()
+				}
+				if len(forks) == 0 && len(warms) == 0 {
+					// Nothing queued and nothing in flight that could
+					// enqueue more: the campaign is done.
+					qmu.Unlock()
+					cond.Broadcast()
+					return
+				}
+				if aborted() {
+					forks, warms = nil, nil
+					qmu.Unlock()
+					cond.Broadcast()
+					return
+				}
+				var ft forkTask
+				var g *group
+				if len(forks) > 0 {
+					ft = forks[len(forks)-1]
+					forks = forks[:len(forks)-1]
+				} else {
+					g = warms[0]
+					warms = warms[1:]
+				}
+				active++
+				qmu.Unlock()
+
+				switch {
+				case g == nil:
+					res, err := ft.warmed.Fork(pending[ft.digest])
+					finish(ft.digest, res, err)
+				case len(g.digests) == 1:
+					d := g.digests[0]
+					res, err := sim.Run(pending[d])
+					finish(d, res, err)
+				default:
+					d0 := g.digests[0]
+					warmed, err := sim.Warmup(pending[d0])
+					if err != nil {
+						// The whole group is doomed: report every member so
+						// a fleet worker can release its leases, and label
+						// the campaign error with the first one.
+						for _, d := range g.digests {
+							if c.OnError != nil {
+								c.OnError(d, err)
+							}
+						}
+						mu.Lock()
+						if *firstErr == nil {
+							*firstErr = fmt.Errorf("%s: %w", keyOf[d0], err)
+						}
+						mu.Unlock()
+					} else {
+						qmu.Lock()
+						for _, d := range g.digests {
+							forks = append(forks, forkTask{warmed: warmed, digest: d})
+						}
+						qmu.Unlock()
+					}
+				}
+
+				qmu.Lock()
+				active--
+				qmu.Unlock()
+				cond.Broadcast()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -139,8 +139,13 @@ type Campaign struct {
 	// checkpoint file used the same way. Kept for existing sweep files; new
 	// code should prefer a resultstore-backed Store.
 	Checkpoint string
-	// Sim is the simulation entry point; nil means sim.Run. The campaign
-	// service's worker daemon and the tests substitute stubs.
+	// Sim is the simulation entry point. nil selects the built-in
+	// fork-after-warmup scheduler: points whose options share a
+	// sim.WarmupKey warm once and fork from the shared snapshot, which is
+	// result-identical to running sim.Run per point but skips the redundant
+	// warmups. Setting it (the campaign service's worker daemon and the
+	// tests substitute stubs; benchmarks pass sim.Run to force cold runs)
+	// uses the flat per-point pool instead.
 	Sim func(sim.Options) (sim.Result, error)
 	// OnError, when non-nil, observes each individual simulation failure
 	// (digest, error) from the worker goroutine that hit it, in addition to
@@ -237,59 +242,18 @@ func RunContext(ctx context.Context, c Campaign) ([]Outcome, Stats, error) {
 		order = append(order, d)
 	}
 
-	run := c.Sim
-	if run == nil {
-		run = sim.Run
-	}
 	executed := make(map[string]sim.Result, len(order))
 	var (
 		mu       sync.Mutex
 		firstErr error
-		wg       sync.WaitGroup
 	)
-	ch := make(chan string)
-	for w := 0; w < c.workers(); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for d := range ch {
-				res, err := run(pending[d])
-				if err != nil && c.OnError != nil {
-					c.OnError(d, err)
-				}
-				if err == nil {
-					// The store has its own lock, so disk flushes never
-					// serialize result collection under mu.
-					err = store.Record(d, res)
-				}
-				mu.Lock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = fmt.Errorf("%s: %w", keyOf[d], err)
-					}
-				} else {
-					executed[d] = res
-				}
-				mu.Unlock()
-			}
-		}()
+	if c.Sim == nil {
+		// Built-in simulator: the fork-after-warmup scheduler shares one
+		// warmup per snapshot group (forksched.go).
+		c.runForked(ctx, order, pending, keyOf, store, executed, &mu, &firstErr)
+	} else {
+		c.runFlat(ctx, order, pending, keyOf, store, executed, &mu, &firstErr)
 	}
-dispatch:
-	for _, d := range order {
-		mu.Lock()
-		failed := firstErr != nil
-		mu.Unlock()
-		if failed {
-			break dispatch
-		}
-		select {
-		case ch <- d:
-		case <-ctx.Done():
-			break dispatch
-		}
-	}
-	close(ch)
-	wg.Wait()
 	stats.Executed = len(executed)
 	if firstErr != nil {
 		return nil, stats, firstErr

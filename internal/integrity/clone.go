@@ -1,0 +1,12 @@
+package integrity
+
+// Clone returns a deep copy of the tree layout. The layout is immutable
+// after construction, but forked engines copy it anyway so the simulator
+// state graphs of parent and fork share no storage at all — the property
+// the deep-copy completeness test enforces wholesale.
+func (t *Tree) Clone() *Tree {
+	n := new(Tree)
+	*n = *t
+	n.levels = append([]level(nil), t.levels...)
+	return n
+}

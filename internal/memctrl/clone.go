@@ -1,0 +1,29 @@
+package memctrl
+
+// Clone returns a deep copy of the controller: queued requests, in-flight
+// completions, drain/quiescence state, the channel timing model, and all
+// statistics. Ticking the copy reproduces exactly the command stream the
+// original would have issued.
+func (c *Controller) Clone() *Controller {
+	n := new(Controller)
+	*n = *c
+	n.ch = c.ch.Clone()
+	n.mapper = c.mapper.Clone()
+	n.readQ = cloneRequests(c.readQ)
+	n.writeQ = cloneRequests(c.writeQ)
+	n.pending = append(completionHeap(nil), c.pending...)
+	n.doneBuf = append([]Completion(nil), c.doneBuf...)
+	return n
+}
+
+func cloneRequests(src []*Request) []*Request {
+	if src == nil {
+		return nil
+	}
+	out := make([]*Request, len(src))
+	for i, r := range src {
+		cp := *r
+		out[i] = &cp
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+package scenario
+
+import (
+	"secddr/internal/cpu"
+	"secddr/internal/trace"
+)
+
+// Clone returns a deep copy of the script. Scripts are nominally immutable,
+// but forked simulations must not share any storage with their parent, so
+// the phase list and Markov transition matrix are copied too.
+func (c CoreScript) Clone() CoreScript {
+	n := c
+	n.Phases = append([]Phase(nil), c.Phases...)
+	if c.Markov.Transition != nil {
+		t := make([][]float64, len(c.Markov.Transition))
+		for i, row := range c.Markov.Transition {
+			t[i] = append([]float64(nil), row...)
+		}
+		n.Markov.Transition = t
+	}
+	return n
+}
+
+// Clone returns a deep copy of the source: the script, every per-phase
+// generator's cursor state, the current phase, and the Markov RNG. The
+// clone's op stream continues exactly where the original's would.
+func (s *Source) Clone() *Source {
+	n := new(Source)
+	*n = *s
+	n.script = s.script.Clone()
+	n.gens = make([]*trace.Generator, len(s.gens))
+	for i, g := range s.gens {
+		n.gens[i] = g.Clone()
+	}
+	return n
+}
+
+// CloneSource implements cpu.CloneableSource.
+func (s *Source) CloneSource() cpu.OpSource { return s.Clone() }

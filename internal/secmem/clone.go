@@ -1,0 +1,67 @@
+package secmem
+
+import "secddr/internal/memctrl"
+
+// Clone returns a deep copy of the engine: controllers (with their DRAM
+// channels), metadata cache, tree layout, the full in-flight transaction
+// graph (pending channel requests, backlog, ready completions), and all
+// statistics. Transactions referenced from both the pending map and the
+// backlog are memoized so the copy preserves the sharing structure —
+// outstanding-count bookkeeping stays correct in the fork.
+func (e *Engine) Clone() *Engine {
+	n := new(Engine)
+	*n = *e
+	n.ctls = make([]*memctrl.Controller, len(e.ctls))
+	for i, ctl := range e.ctls {
+		n.ctls[i] = ctl.Clone()
+	}
+	n.mapper = e.mapper.Clone()
+	if e.metaCache != nil {
+		n.metaCache = e.metaCache.Clone()
+	}
+	if e.tree != nil {
+		n.tree = e.tree.Clone()
+	}
+	n.walkBuf = append([]uint64(nil), e.walkBuf...)
+	n.outBuf = append([]ReadDone(nil), e.outBuf...)
+	memo := make(map[*txn]*txn)
+	cloneTxn := func(t *txn) *txn {
+		if t == nil {
+			return nil
+		}
+		if d, ok := memo[t]; ok {
+			return d
+		}
+		d := new(txn)
+		*d = *t
+		memo[t] = d
+		return d
+	}
+	n.pending = make(map[chanReq]pendingRef, len(e.pending))
+	for k, ref := range e.pending {
+		n.pending[k] = pendingRef{t: cloneTxn(ref.t), kind: ref.kind}
+	}
+	n.backlog = make([]backlogEntry, len(e.backlog))
+	for i, b := range e.backlog {
+		b.t = cloneTxn(b.t)
+		n.backlog[i] = b
+	}
+	n.ready = append(readyHeap(nil), e.ready...)
+	return n
+}
+
+// PrimeMeta installs the metadata walk for a data line address into the
+// metadata cache as clean fills, without touching access statistics. A
+// resumed (or forked) run calls it for every LLC-resident line so the
+// metadata cache starts consistent with the data the measured region will
+// re-reference — the functional analogue of the LLC warmup.
+func (e *Engine) PrimeMeta(addr uint64) {
+	if !e.hasWalk {
+		return
+	}
+	for _, a := range e.walkAddrs(addr) {
+		if !e.metaCache.Probe(a) {
+			e.metaCache.Fill(a, false)
+		}
+	}
+}

@@ -92,14 +92,22 @@ var debugHook func(*system)
 // Bump it whenever a model change alters results for unchanged Options, so
 // harness checkpoints written by older binaries are invalidated instead of
 // silently serving stale numbers.
-const simVersion = 1
+//
+// v2: warmup runs under the canonical warmup configuration (fork-after-
+// warmup), cores freeze individually at their warmup target, and the
+// metadata cache is functionally primed from the resident LLC at the start
+// of the measured region.
+const simVersion = 2
 
 // Summary returns a canonical one-line description of everything that
 // determines this run's result. Two Options with equal summaries produce
 // identical Results: the simulator is deterministic, and Options holds only
-// value types, so the rendering is stable across processes.
+// value types, so the rendering is stable across processes. The warmup key
+// is folded in explicitly: the snapshot a run resumes from is identified by
+// it, so any change to what a warmed snapshot contains shows up in every
+// dependent digest (see WarmupKey).
 func (o Options) Summary() string {
-	return fmt.Sprintf("sim-v%d %+v", simVersion, o.withDefaults())
+	return fmt.Sprintf("sim-v%d warmup[%s] %+v", simVersion, o.WarmupKey()[:16], o.withDefaults())
 }
 
 // Digest returns a stable hex key for the run (SHA-256 of Summary). The
@@ -188,6 +196,14 @@ type system struct {
 
 	skipEvents int64 // fast-forward jumps taken (diagnostics)
 	skipCycles int64 // CPU cycles skipped by fast-forwarding (diagnostics)
+
+	// frozen marks cores that reached their warmup target and stopped
+	// ticking until the measured region starts. It is distinct from
+	// finishCycle on purpose: completions must keep flowing to frozen cores
+	// while the memory system drains (memTick delivers when finishCycle is
+	// zero), or the drain would deadlock on a frozen core's outstanding
+	// loads.
+	frozen []bool
 
 	finishCycle []int64
 	warmCycle   []int64
@@ -425,7 +441,7 @@ func (s *system) idleCycles(cpuMHz, memMHz int) int64 {
 	// expensive memory-side scan.
 	minCore := cpu.EventNever
 	for i, c := range s.cores {
-		if s.finishCycle[i] != 0 {
+		if s.finishCycle[i] != 0 || s.frozen[i] {
 			continue
 		}
 		t := s.coreNextAt[i]
@@ -498,10 +514,31 @@ func run(opt Options, tickLoop bool) (Result, error) {
 	return s.collect(), nil
 }
 
-// runSystem executes the simulation loop and returns the finished system,
-// so tests can inspect internals (e.g. fast-forward statistics) that
-// Result does not carry.
+// runSystem executes the simulation — warmup, resume, measured region —
+// and returns the finished system, so tests can inspect internals (e.g.
+// fast-forward statistics) that Result does not carry. A cold run and a
+// forked run execute exactly the same three phases; the only difference is
+// that a fork deep-copies the warmed system between the first two.
 func runSystem(opt Options, tickLoop bool) (*system, error) {
+	s, err := warmSystem(opt, tickLoop)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.resume(opt); err != nil {
+		return nil, err
+	}
+	if err := s.runMeasured(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// warmSystem validates opt, builds the system under the canonical warmup
+// configuration (warmupOptions), and runs the warmup phase to its drained
+// fixpoint: every core frozen at its warmup target and the memory system
+// fully idle. The returned system is the state a Warmed snapshot captures;
+// it is a pure function of opt's WarmupKey.
+func warmSystem(opt Options, tickLoop bool) (*system, error) {
 	if opt.InstrPerCore == 0 {
 		return nil, errors.New("sim: InstrPerCore must be positive")
 	}
@@ -517,33 +554,36 @@ func runSystem(opt Options, tickLoop bool) (*system, error) {
 			return nil, fmt.Errorf("sim: %w", err)
 		}
 	}
+	warmupRuns.Add(1)
+	wopt := warmupOptions(opt)
 
-	engine, err := secmem.NewEngine(opt.Config)
+	engine, err := secmem.NewEngine(wopt.Config)
 	if err != nil {
 		return nil, err
 	}
 	engine.SetEventDriven(!tickLoop)
-	llc, err := cache.New(opt.Config.LLC)
+	llc, err := cache.New(wopt.Config.LLC)
 	if err != nil {
 		return nil, err
 	}
 	s := &system{
-		opt:         opt,
+		opt:         wopt,
 		engine:      engine,
 		llc:         llc,
-		pf:          cache.NewStreamPrefetcher(opt.Config.Prefetch),
+		pf:          cache.NewStreamPrefetcher(wopt.Config.Prefetch),
 		byLine:      make(map[uint64]*mshrEntry),
 		byToken:     make(map[uint64]*mshrEntry),
 		eventDriven: !tickLoop,
 	}
-	n := opt.Config.Core.NumCores
+	n := wopt.Config.Core.NumCores
 	s.cores = make([]*cpu.Core, n)
 	s.coreNextAt = make([]int64, n)
 	s.mshrInUse = make([]int, n)
 	s.finishCycle = make([]int64, n)
 	s.warmCycle = make([]int64, n)
+	s.frozen = make([]bool, n)
 	for i := 0; i < n; i++ {
-		gen, err := opt.newCoreSource(i, 0)
+		gen, err := wopt.newCoreSource(i, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -551,11 +591,11 @@ func runSystem(opt Options, tickLoop bool) (*system, error) {
 		// a statistically equivalent address stream (different seed) so the
 		// measured region starts from a full cache — evictions and dirty
 		// writebacks flow from the first cycle, as in steady state.
-		warmGen, err := opt.newCoreSource(i, 0x9e3779b9)
+		warmGen, err := wopt.newCoreSource(i, 0x9e3779b9)
 		if err != nil {
 			return nil, err
 		}
-		share := opt.Config.LLC.SizeBytes / opt.Config.LLC.LineBytes / n
+		share := wopt.Config.LLC.SizeBytes / wopt.Config.LLC.LineBytes / n
 		for j := 0; j < share; j++ {
 			op, _ := warmGen.Next()
 			s.llc.Fill(op.Addr&_lineMask, op.Store)
@@ -566,15 +606,131 @@ func runSystem(opt Options, tickLoop bool) (*system, error) {
 				s.llc.Fill(page+off, false)
 			}
 		})
-		s.cores[i] = cpu.NewCore(opt.Config.Core, &corePort{s: s, id: i}, gen)
+		s.cores[i] = cpu.NewCore(wopt.Config.Core, &corePort{s: s, id: i}, gen)
 	}
 	s.llc.Accesses, s.llc.Hits, s.llc.Misses, s.llc.Evictions, s.llc.Writebacks = 0, 0, 0, 0, 0
 
+	// Timed warmup. Each core runs until it reaches the warmup target and
+	// freezes; after the last freeze the loop keeps ticking the memory
+	// domain until it drains. Freezes are detected at the top of each
+	// executed iteration — retirement counts only change in core ticks, so
+	// a crossing can never hide inside a fast-forwarded window, and both
+	// loop flavours freeze at identical cycles.
+	cpuMHz := wopt.Config.Core.ClockMHz
+	memMHz := wopt.Config.DRAM.ClockMHz
+	warming := n
+	for {
+		for i, c := range s.cores {
+			if !s.frozen[i] && c.Retired >= wopt.WarmupInstr {
+				s.frozen[i] = true
+				warming--
+			}
+		}
+		if warming == 0 && s.drained() {
+			break
+		}
+		if s.cpuNow >= wopt.MaxCycles {
+			return nil, fmt.Errorf("sim: %s warmup exceeded cycle cap %d (%d cores warming)",
+				wopt.WorkloadName(), wopt.MaxCycles, warming)
+		}
+		if !tickLoop {
+			if jump := s.idleCycles(cpuMHz, memMHz); jump > 0 {
+				s.skipEvents++
+				s.skipCycles += jump
+				s.cpuNow += jump
+				total := int64(s.memAcc) + jump*int64(memMHz)
+				s.memNow += total / int64(cpuMHz)
+				s.memAcc = int(total % int64(cpuMHz))
+				continue
+			}
+		}
+		s.memAcc += memMHz
+		for s.memAcc >= cpuMHz {
+			s.memAcc -= cpuMHz
+			s.memTick()
+		}
+		if debugHook != nil {
+			debugHook(s)
+		}
+		for i, c := range s.cores {
+			if s.frozen[i] {
+				continue
+			}
+			if tickLoop || s.coreNextAt[i] <= s.cpuNow {
+				c.Tick(s.cpuNow)
+				if !tickLoop {
+					s.coreNextAt[i] = c.NextEvent(s.cpuNow)
+				}
+			}
+		}
+		s.cpuNow++
+	}
+	return s, nil
+}
+
+// drained reports whether the memory side has reached its warmup fixpoint:
+// no outstanding LLC fills and a fully idle engine (empty backlog, no
+// in-flight channel requests, no undelivered completions).
+func (s *system) drained() bool {
+	return len(s.byToken) == 0 && s.engine.Idle()
+}
+
+// resume switches a warmed system to the measured configuration opt and
+// opens the measurement window. The mode-specific security engine is built
+// fresh — its queues are empty at the drained fixpoint by construction —
+// with the DRAM channels' bank/timing/refresh state grafted from the warmed
+// engine, and the metadata cache functionally primed from the resident LLC.
+// Everything here is a deterministic function of the warmed state plus opt,
+// which is what makes a fork identical to a cold run.
+func (s *system) resume(opt Options) error {
+	opt = opt.withDefaults()
+	engine, err := secmem.NewEngine(opt.Config)
+	if err != nil {
+		return err
+	}
+	engine.SetEventDriven(s.eventDriven)
+	old := s.engine.Controllers()
+	for i, ctl := range engine.Controllers() {
+		ctl.Channel().AdoptState(old[i].Channel())
+	}
+	s.engine = engine
+	s.opt = opt
+	if engine.MetaCache() != nil {
+		s.llc.VisitResident(func(addr uint64, dirty bool) {
+			engine.PrimeMeta(addr)
+		})
+	}
+	s.memEventAt = 0
+	s.memEventStale = true
+	for i := range s.cores {
+		s.coreNextAt[i] = 0
+		s.frozen[i] = false
+		s.warmCycle[i] = s.cpuNow
+		s.finishCycle[i] = 0
+	}
+	s.takeSnapshot()
+	return nil
+}
+
+// runMeasured runs the measurement loop until every core reaches the total
+// retirement target (warmup + measured instructions; warmup overshoot
+// counts, as it always has).
+func (s *system) runMeasured() error {
+	opt := s.opt
+	tickLoop := !s.eventDriven
 	cpuMHz := opt.Config.Core.ClockMHz
 	memMHz := opt.Config.DRAM.ClockMHz
-	remaining := n
-	warming := n
+	remaining := len(s.cores)
 	target := opt.WarmupInstr + opt.InstrPerCore
+	// A wide retire can overshoot warmup past the whole target in one
+	// cycle; such cores are already done (zero-cycle window, see
+	// IPCClamped).
+	for i, c := range s.cores {
+		if c.Retired >= target {
+			s.finishCycle[i] = s.cpuNow
+			remaining--
+		}
+	}
 	for remaining > 0 && s.cpuNow < opt.MaxCycles {
 		if !tickLoop {
 			if jump := s.idleCycles(cpuMHz, memMHz); jump > 0 {
@@ -607,20 +763,12 @@ func runSystem(opt Options, tickLoop bool) (*system, error) {
 			// driven loop skips the call. Completions delivered by this
 			// iteration's memory ticks invalidate the cache, so an async
 			// wake is never missed. The reference loop ticks
-			// unconditionally. The threshold checks below still run: with
-			// zero retirement they can only fire in the WarmupInstr==0
-			// case, identically in both loops.
+			// unconditionally. The finish check below still runs either
+			// way, identically in both loops.
 			if tickLoop || s.coreNextAt[i] <= s.cpuNow {
 				c.Tick(s.cpuNow)
 				if !tickLoop {
 					s.coreNextAt[i] = c.NextEvent(s.cpuNow)
-				}
-			}
-			if s.warmCycle[i] == 0 && c.Retired >= opt.WarmupInstr {
-				s.warmCycle[i] = s.cpuNow + 1
-				warming--
-				if warming == 0 {
-					s.takeSnapshot()
 				}
 			}
 			if c.Retired >= target {
@@ -631,10 +779,10 @@ func runSystem(opt Options, tickLoop bool) (*system, error) {
 		s.cpuNow++
 	}
 	if remaining > 0 {
-		return nil, fmt.Errorf("sim: %s/%v exceeded cycle cap %d (%d cores unfinished)",
+		return fmt.Errorf("sim: %s/%v exceeded cycle cap %d (%d cores unfinished)",
 			opt.WorkloadName(), opt.Config.Security.Mode, opt.MaxCycles, remaining)
 	}
-	return s, nil
+	return nil
 }
 
 func (s *system) collect() Result {

@@ -1,0 +1,17 @@
+package trace
+
+import "secddr/internal/cpu"
+
+// Clone returns a deep copy of the generator: same profile, RNG state,
+// page permutation, and stream cursors, sharing no mutable storage. A
+// clone's Next stream is cycle-for-cycle identical to the original's
+// continuation.
+func (g *Generator) Clone() *Generator {
+	n := new(Generator)
+	*n = *g
+	n.pagePerm = append([]uint32(nil), g.pagePerm...)
+	return n
+}
+
+// CloneSource implements cpu.CloneableSource.
+func (g *Generator) CloneSource() cpu.OpSource { return g.Clone() }
