@@ -1,0 +1,40 @@
+// Command secddr-lint is the multichecker for this module's determinism
+// and clone-completeness invariants. It bundles four analyzers:
+//
+//	clonecheck   every reference-bearing field of a cloneable type must be
+//	             handled by its Clone/fork method (//lint:cloned-via escapes)
+//	detrange     map iteration order must not leak into results in the
+//	             sim/scenario/harness/service/resultstore packages
+//	             (//lint:detrange-ok escapes)
+//	nowallclock  no wall-clock time or ambient randomness below the
+//	             service layer (//lint:wallclock-ok escapes)
+//	digestfmt    no %v on maps or floats in strings feeding digests or
+//	             canonical Stringers (//lint:digestfmt-ok escapes)
+//
+// Run it directly on package patterns, which re-execs go vet with this
+// binary as the vettool:
+//
+//	go build -o /tmp/secddr-lint ./cmd/secddr-lint
+//	/tmp/secddr-lint ./...
+//
+// or hand it to go vet yourself, as CI does:
+//
+//	go vet -vettool=/tmp/secddr-lint ./...
+package main
+
+import (
+	"secddr/internal/lint/analysis"
+	"secddr/internal/lint/clonecheck"
+	"secddr/internal/lint/detrange"
+	"secddr/internal/lint/digestfmt"
+	"secddr/internal/lint/nowallclock"
+)
+
+func main() {
+	analysis.Main(
+		clonecheck.Analyzer,
+		detrange.Analyzer,
+		nowallclock.Analyzer,
+		digestfmt.Analyzer,
+	)
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildLint compiles the multichecker once per test binary and returns
+// its path. Building through `go build` exercises the same artifact CI
+// hands to go vet.
+func buildLint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "secddr-lint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building secddr-lint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestVettoolProtocol checks the two handshake replies go vet probes a
+// vettool with before ever running it: without these exact shapes the
+// CI wiring would fail before any analysis happened.
+func TestVettoolProtocol(t *testing.T) {
+	bin := buildLint(t)
+
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	if !strings.Contains(string(out), "version") || !strings.Contains(string(out), "buildID=") {
+		t.Fatalf("-V=full reply missing version/buildID: %q", out)
+	}
+
+	out, err = exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(string(out)), "[") {
+		t.Fatalf("-flags did not print a JSON array: %q", out)
+	}
+}
+
+// TestReportsPlantedViolation plants a clonecheck violation in a scratch
+// module and runs the binary in standalone mode (which re-execs
+// `go vet -vettool=self`), asserting the finding surfaces and the exit
+// status is nonzero — the whole vettool pipeline, end to end.
+func TestReportsPlantedViolation(t *testing.T) {
+	bin := buildLint(t)
+	dir := t.TempDir()
+
+	writeFile(t, filepath.Join(dir, "go.mod"), "module plant\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(dir, "plant.go"), `package plant
+
+// Tracker forgets to copy its map: clonecheck must fail the vet run.
+type Tracker struct {
+	counts  map[string]int
+	history []int
+}
+
+func (t *Tracker) Clone() *Tracker {
+	n := new(Tracker)
+	*n = *t
+	n.history = append([]int(nil), t.history...)
+	return n
+}
+`)
+
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("expected nonzero exit on planted violation; output:\n%s", out)
+	}
+	if !strings.Contains(string(out), "does not handle reference-bearing field counts") {
+		t.Fatalf("planted clonecheck violation not reported; output:\n%s", out)
+	}
+}
+
+// TestCleanPackagePasses is the other half of the smoke test: a module
+// with a complete Clone method exits zero.
+func TestCleanPackagePasses(t *testing.T) {
+	bin := buildLint(t)
+	dir := t.TempDir()
+
+	writeFile(t, filepath.Join(dir, "go.mod"), "module clean\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(dir, "clean.go"), `package clean
+
+type Tracker struct {
+	counts  map[string]int
+	history []int
+}
+
+func (t *Tracker) Clone() *Tracker {
+	n := new(Tracker)
+	*n = *t
+	n.counts = make(map[string]int, len(t.counts))
+	for k, v := range t.counts {
+		n.counts[k] = v
+	}
+	n.history = append([]int(nil), t.history...)
+	return n
+}
+`)
+
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("clean module should pass: %v\n%s", err, out)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,60 @@
+package config
+
+import (
+	"fmt"
+	"testing"
+)
+
+// noString strips Config's String method (a defined type inherits no
+// methods), so %+v of it is the honest reflection rendering that
+// Config.String claims to reproduce. The nested helper renderers stay
+// honest precisely because none of the nested types gained String
+// methods of their own.
+type noString Config
+
+// TestConfigStringMatchesPlusV pins Config.String to the %+v rendering
+// the digest pipeline hashed before the method existed. If this test
+// fails, every digest in every cache and resultstore changes — treat a
+// mismatch as a bug in String, not a reason to update the expectation.
+func TestConfigStringMatchesPlusV(t *testing.T) {
+	modes := []Mode{
+		ModeIntegrityTree, ModeSecDDRCTR, ModeEncryptOnlyCTR,
+		ModeSecDDRXTS, ModeEncryptOnlyXTS, ModeInvisiMem, ModeUnprotected,
+	}
+	var cases []Config
+	for _, m := range modes {
+		cases = append(cases, Table1(m))
+	}
+
+	invisi := Table1(ModeInvisiMem)
+	invisi.Security.InvisiMemRealistic = true
+	invisi.DRAM.Channels = 4
+	invisi.Normalize()
+	cases = append(cases, invisi)
+
+	hash := Table1(ModeIntegrityTree)
+	hash.Security.HashTree = true
+	hash.Security.TreeArity = 8
+	cases = append(cases, hash)
+
+	// Drain watermarks that exercise float rendering beyond the default
+	// 0.75/0.25: exponent form, long mantissas, zero, and a negative.
+	odd := Table1(ModeSecDDRCTR)
+	odd.DRAM.WriteDrainHigh = 1e-7
+	odd.DRAM.WriteDrainLow = 0.30000000000000004
+	cases = append(cases, odd)
+	odd2 := Table1(ModeSecDDRXTS)
+	odd2.DRAM.WriteDrainHigh = 123456789.125
+	odd2.DRAM.WriteDrainLow = -0.5
+	cases = append(cases, odd2)
+	zero := Config{}
+	cases = append(cases, zero)
+
+	for i, cfg := range cases {
+		got := cfg.String()
+		want := fmt.Sprintf("%+v", noString(cfg))
+		if got != want {
+			t.Errorf("case %d: Config.String diverges from %%+v\n got: %s\nwant: %s", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package analysis is a dependency-free mirror of the golang.org/x/tools
+// go/analysis API, just large enough to host the secddr-lint checkers.
+// The module deliberately has no external dependencies (go.mod lists
+// none, and CI builds offline from the stdlib alone), so rather than
+// import x/tools this package re-implements the two pieces the suite
+// needs: the Analyzer/Pass contract the checkers are written against
+// (analysis.go) and the `go vet -vettool` separate-compilation protocol
+// the go command drives them with (unitchecker.go, main.go). Checkers
+// written here port to the real go/analysis API by changing one import.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one invariant checker: a name, what it enforces,
+// and a Run function applied once per type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an
+// analyzer's Run function, plus the Report sink for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The suite's
+// invariants guard production code; test files get to break them (a
+// deliberately-shallow canary copy, a wall-clock deadline around a
+// simulation, map-ordered subtests) without annotating every line.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// DirectiveLines collects the lines of f that carry a "//lint:<name>"
+// escape-hatch comment. A node escapes checking when the directive sits
+// on the node's own line or the line directly above it — the two places
+// a human annotates an audited exception.
+func DirectiveLines(fset *token.FileSet, f *ast.File, name string) map[int]bool {
+	directive := "lint:" + name
+	lines := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, directive) {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// Escaped reports whether the node at pos is covered by a directive
+// line set from DirectiveLines.
+func Escaped(fset *token.FileSet, lines map[int]bool, pos token.Pos) bool {
+	l := fset.Position(pos).Line
+	return lines[l] || lines[l-1]
+}
+
+// PathHasPrefix reports whether the package path is pre, or lies under
+// pre as a path segment prefix ("a/b" covers "a/b/c" but not "a/bc").
+func PathHasPrefix(path, pre string) bool {
+	return path == pre || strings.HasPrefix(path, pre+"/")
+}
+
+// Stringish reports whether T's method set (value or pointer) carries a
+// String() string or Format(fmt.State, rune) method, i.e. whether fmt's
+// %v delegates rendering to code the type's author controls. The digest
+// checkers treat such types as canonical-by-contract and stop recursing
+// into them: the Stringer body is itself subject to analysis wherever it
+// is defined in this module.
+func Stringish(t types.Type) bool {
+	return hasMethod(t, "String", 0, 1) || hasMethod(t, "Format", 2, 0) ||
+		hasMethod(t, "Error", 0, 1)
+}
+
+func hasMethod(t types.Type, name string, params, results int) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	return sig.Params().Len() == params && sig.Results().Len() == results
+}

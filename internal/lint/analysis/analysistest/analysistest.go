@@ -1,0 +1,176 @@
+// Package analysistest runs an analyzer over fixture packages under
+// testdata/src and checks its diagnostics against // want comments,
+// mirroring golang.org/x/tools/go/analysis/analysistest on the stdlib
+// alone. A fixture line expects a diagnostic with
+//
+//	code here // want "regexp"
+//
+// where the pattern is a Go string literal holding a regular expression
+// that must match a diagnostic reported on that line. Lines without a
+// want comment must produce no diagnostics.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"secddr/internal/lint/analysis"
+)
+
+// Run analyzes each fixture package (a path under dir/testdata/src, e.g.
+// "secddr/internal/sim/fixt" — the path becomes the package path the
+// analyzer sees, so path-scoped analyzers can be exercised) and reports
+// every mismatch between actual diagnostics and // want expectations as
+// a test error.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	for _, pkgPath := range pkgPaths {
+		runOne(t, filepath.Join(dir, "testdata", "src"), a, pkgPath)
+	}
+}
+
+// TestData returns the testdata directory of the caller's package,
+// matching the x/tools helper of the same name.
+func TestData() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	return wd
+}
+
+func runOne(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	pkgDir := filepath.Join(srcRoot, filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(pkgDir)
+	if err != nil {
+		t.Fatalf("%s: reading fixture dir: %v", pkgPath, err)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(pkgDir, e.Name())
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("%s: %v", pkgPath, err)
+		}
+		files = append(files, f)
+		names = append(names, name)
+	}
+	if len(files) == 0 {
+		t.Fatalf("%s: no Go files in %s", pkgPath, pkgDir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	// Fixtures import the stdlib only, which the source importer
+	// resolves from GOROOT without export data or network.
+	tcfg := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := tcfg.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("%s: typechecking fixture: %v", pkgPath, err)
+	}
+
+	var got []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { got = append(got, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer %s: %v", pkgPath, a.Name, err)
+	}
+
+	checkExpectations(t, fset, names, pkgPath, got)
+}
+
+// wantKey identifies one fixture line: file base name + line number.
+type wantKey struct {
+	file string
+	line int
+}
+
+func checkExpectations(t *testing.T, fset *token.FileSet, files []string, pkgPath string, got []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[wantKey][]*regexp.Regexp)
+	for _, name := range files {
+		collectWants(t, name, wants)
+	}
+
+	matched := make(map[wantKey]int)
+	for _, d := range got {
+		posn := fset.Position(d.Pos)
+		key := wantKey{file: filepath.Base(posn.Filename), line: posn.Line}
+		patterns := wants[key]
+		idx := matched[key]
+		if idx >= len(patterns) {
+			t.Errorf("%s: unexpected diagnostic at %s: %s", pkgPath, posn, d.Message)
+			continue
+		}
+		if !patterns[idx].MatchString(d.Message) {
+			t.Errorf("%s: diagnostic at %s does not match %q: %s", pkgPath, posn, patterns[idx], d.Message)
+		}
+		matched[key]++
+	}
+	var missing []string
+	for key, patterns := range wants {
+		for i := matched[key]; i < len(patterns); i++ {
+			missing = append(missing, key.file+":"+strconv.Itoa(key.line)+": no diagnostic matching "+patterns[i].String())
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		t.Errorf("%s: %s", pkgPath, m)
+	}
+}
+
+// wantRE pulls the Go string literal following a "// want" marker.
+var wantRE = regexp.MustCompile(`// want (".*"|` + "`.*`" + `)`)
+
+func collectWants(t *testing.T, name string, wants map[wantKey][]*regexp.Regexp) {
+	t.Helper()
+	data, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Base(name)
+	for i, line := range strings.Split(string(data), "\n") {
+		m := wantRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		lit, err := strconv.Unquote(m[1])
+		if err != nil {
+			t.Fatalf("%s:%d: bad want pattern %s: %v", base, i+1, m[1], err)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want regexp %q: %v", base, i+1, lit, err)
+		}
+		key := wantKey{file: base, line: i + 1}
+		wants[key] = append(wants[key], re)
+	}
+}

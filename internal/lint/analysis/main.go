@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+// Main is the entry point of a multichecker binary built on this
+// package. It speaks the three dialects `go vet -vettool` uses:
+//
+//	tool -V=full            print a version/buildID fingerprint
+//	tool -flags             print the tool's flags as JSON
+//	tool [-json] unit.cfg   analyze one package unit (the real work)
+//
+// Any other invocation — `secddr-lint ./...` — re-execs the go command
+// with this binary as the vettool, so running the checker directly and
+// running it through go vet are the same code path by construction.
+func Main(analyzers ...*Analyzer) {
+	progname := os.Args[0]
+	args := os.Args[1:]
+
+	asJSON := false
+	for len(args) > 0 && strings.HasPrefix(args[0], "-") {
+		switch arg := args[0]; {
+		case arg == "-V=full" || arg == "--V=full":
+			// The go command fingerprints vettools by this exact
+			// reply (cmd/go/internal/work: vet action ID); the
+			// buildID must change when the binary does, so hash
+			// the executable itself.
+			fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, selfHash())
+			os.Exit(0)
+		case arg == "-flags" || arg == "--flags":
+			// go vet always asks for the tool's flags before
+			// first use; an empty JSON array means "none".
+			type jsonFlag struct {
+				Name  string
+				Bool  bool
+				Usage string
+			}
+			out, err := json.Marshal([]jsonFlag{
+				{Name: "json", Bool: true, Usage: "emit JSON output"},
+			})
+			if err != nil {
+				fatalf("marshaling flags: %v", err)
+			}
+			fmt.Println(string(out))
+			os.Exit(0)
+		case arg == "-json" || arg == "--json" || arg == "-json=true" || arg == "--json=true":
+			asJSON = true
+			args = args[1:]
+		case arg == "-json=false" || arg == "--json=false":
+			args = args[1:]
+		case arg == "-h" || arg == "-help" || arg == "--help":
+			usage(progname, analyzers)
+			os.Exit(0)
+		default:
+			fatalf("unknown flag %s (run %s -help)", arg, progname)
+		}
+	}
+
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnit(args[0], analyzers, asJSON))
+	}
+
+	if len(args) == 0 {
+		usage(progname, analyzers)
+		os.Exit(2)
+	}
+	os.Exit(reexecGoVet(args))
+}
+
+// reexecGoVet runs `go vet -vettool=<self> patterns...`, giving the
+// standalone invocation identical semantics to the CI wiring.
+func reexecGoVet(patterns []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fatalf("locating own executable: %v", err)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fatalf("running go vet: %v", err)
+	}
+	return 0
+}
+
+// selfHash fingerprints the running executable for the -V=full reply.
+func selfHash() []byte {
+	self, err := os.Executable()
+	if err != nil {
+		fatalf("locating own executable: %v", err)
+	}
+	data, err := os.ReadFile(self)
+	if err != nil {
+		fatalf("reading own executable: %v", err)
+	}
+	sum := sha256.Sum256(data)
+	return sum[:]
+}
+
+func usage(progname string, analyzers []*Analyzer) {
+	fmt.Fprintf(os.Stderr, "usage: %s package...   (or via go vet -vettool=%s)\n\nanalyzers:\n", progname, progname)
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, doc)
+	}
+}

@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+)
+
+// vetConfig mirrors the JSON configuration the go command writes for each
+// vet action (see $GOROOT/src/cmd/go/internal/work/exec.go, vetConfig).
+// The tool is invoked once per package as `secddr-lint path/to/vet.cfg`.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// jsonDiagnostic is the -json wire form of one diagnostic, matching the
+// x/tools unitchecker output so editor integrations parse either tool.
+type jsonDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// runUnit executes one vet unit: load the config, typecheck the package,
+// run every analyzer, and report. Exit status follows go vet's contract:
+// 0 with no findings (or -json mode), 1 with findings on stderr.
+func runUnit(cfgPath string, analyzers []*Analyzer, asJSON bool) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatalf("reading vet config: %v", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parsing vet config %s: %v", cfgPath, err)
+	}
+
+	// The go command schedules a vet action for every transitive
+	// dependency (stdlib included) so tools can exchange facts through
+	// vetx files. These analyzers are fact-free, so dependency units
+	// need no analysis at all: write the (empty) vetx output the driver
+	// may look for and return.
+	if cfg.VetxOnly {
+		writeVetx(cfg.VetxOutput)
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fatalf("%v", err)
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports through the compiler export data the go command
+	// lists in PackageFile, with ImportMap applied first — the same
+	// scheme the x/tools unitchecker uses via go/importer.
+	compImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := mappedImporter{m: cfg.ImportMap, under: compImp}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tcfg := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+		Error:     func(error) {},
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fatalf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	diags := runAnalyzers(analyzers, fset, files, pkg, info)
+	writeVetx(cfg.VetxOutput)
+
+	if asJSON {
+		printJSON(os.Stdout, cfg.ID, fset, diags)
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.pos), d.message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// unitDiag pairs a diagnostic with the analyzer that produced it, in a
+// deterministic report order.
+type unitDiag struct {
+	analyzer string
+	pos      token.Pos
+	message  string
+}
+
+// runAnalyzers applies every analyzer to one typechecked package and
+// returns the merged diagnostics sorted by position. It is the common
+// core of the unitchecker and the analysistest runner.
+func runAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []unitDiag {
+	var diags []unitDiag
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d Diagnostic) {
+				diags = append(diags, unitDiag{analyzer: a.Name, pos: d.Pos, message: d.Message})
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			fatalf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].pos < diags[j].pos })
+	return diags
+}
+
+// mappedImporter resolves vendored/aliased import paths through the vet
+// config's ImportMap before handing them to the export-data importer.
+type mappedImporter struct {
+	m     map[string]string
+	under types.Importer
+}
+
+func (mi mappedImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := mi.m[path]; ok {
+		path = mapped
+	}
+	return mi.under.Import(path)
+}
+
+// writeVetx writes the (empty) serialized-facts file the go command may
+// expect at the configured path, enabling its vet result caching.
+func writeVetx(path string) {
+	if path == "" {
+		return
+	}
+	if err := os.WriteFile(path, nil, 0o666); err != nil {
+		fatalf("writing vetx output: %v", err)
+	}
+}
+
+// printJSON emits the x/tools-compatible -json diagnostic tree:
+// {pkgID: {analyzer: [{posn, message}, ...]}}.
+func printJSON(w io.Writer, pkgID string, fset *token.FileSet, diags []unitDiag) {
+	byAnalyzer := make(map[string][]jsonDiagnostic)
+	for _, d := range diags {
+		byAnalyzer[d.analyzer] = append(byAnalyzer[d.analyzer], jsonDiagnostic{
+			Posn:    fset.Position(d.pos).String(),
+			Message: d.message,
+		})
+	}
+	tree := map[string]map[string][]jsonDiagnostic{pkgID: byAnalyzer}
+	out, err := json.MarshalIndent(tree, "", "\t")
+	if err != nil {
+		fatalf("marshaling diagnostics: %v", err)
+	}
+	fmt.Fprintf(w, "%s\n", out)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "secddr-lint: "+format+"\n", args...)
+	os.Exit(1)
+}

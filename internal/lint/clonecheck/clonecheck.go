@@ -1,0 +1,182 @@
+// Package clonecheck verifies clone completeness: every reference-bearing
+// struct field of a type with a Clone or fork method must be mentioned in
+// that method's body. The fork-after-warmup machinery (PR 6) depends on
+// deep copies sharing no mutable storage with their parent; the snapshot
+// reflection walker catches a forgotten field only at test time, on state
+// a test happens to populate, while this check fails the build the moment
+// the field is added. Fields that are deliberately shared (immutable
+// lookup tables, parent back-references re-wired by the caller) carry a
+// //lint:cloned-via comment naming how they are handled.
+package clonecheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"secddr/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "clonecheck",
+	Doc: "every reference-bearing field of a cloneable type must be handled by its Clone/fork method\n\n" +
+		"Scalar and string fields are covered by a wholesale *dst = *src copy, but pointers,\n" +
+		"slices, maps, channels, funcs, and interfaces (or composites containing them) still\n" +
+		"alias the parent after one, so the method body must read or copy each such field\n" +
+		"explicitly, or the field declaration must carry a //lint:cloned-via comment naming\n" +
+		"how it is handled.",
+	Run: run,
+}
+
+// cloneNames are the method names that promise a complete deep copy.
+var cloneNames = map[string]bool{"Clone": true, "fork": true}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		directives := analysis.DirectiveLines(pass.Fset, file, "cloned-via")
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !cloneNames[fd.Name.Name] || fd.Body == nil {
+				continue
+			}
+			checkCloneMethod(pass, fd, directives)
+		}
+	}
+	return nil
+}
+
+func checkCloneMethod(pass *analysis.Pass, fd *ast.FuncDecl, directives map[int]bool) {
+	recv := receiverNamed(pass, fd)
+	if recv == nil {
+		return
+	}
+	st, ok := recv.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+
+	mentioned := fieldMentions(pass, fd.Body, recv, st)
+	seen := make(map[types.Type]bool)
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if mentioned[i] || !bearsReference(f.Type(), seen) {
+			continue
+		}
+		if analysis.Escaped(pass.Fset, directives, f.Pos()) {
+			continue
+		}
+		pass.Reportf(fd.Name.Pos(),
+			"%s method of %s does not handle reference-bearing field %s (%s); copy it or annotate the field with //lint:cloned-via",
+			fd.Name.Name, recv.Obj().Name(), f.Name(), types.TypeString(f.Type(), types.RelativeTo(pass.Pkg)))
+	}
+}
+
+// receiverNamed resolves fd's receiver to the named type it is declared
+// on, or nil when the receiver is not a named type in this package.
+func receiverNamed(pass *analysis.Pass, fd *ast.FuncDecl) *types.Named {
+	if len(fd.Recv.List) != 1 {
+		return nil
+	}
+	t := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := types.Unalias(t).(*types.Named)
+	return named
+}
+
+// fieldMentions walks the method body and marks which direct fields of
+// recv are read or written: selector expressions whose receiver is the
+// cloned type (promoted selections count toward their embedding field),
+// and keys of composite literals of the type. An unkeyed composite
+// literal of the type mentions every field by construction.
+func fieldMentions(pass *analysis.Pass, body *ast.BlockStmt, recv *types.Named, st *types.Struct) map[int]bool {
+	index := make(map[string]int, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		index[st.Field(i).Name()] = i
+	}
+	mentioned := make(map[int]bool)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			sel, ok := pass.TypesInfo.Selections[n]
+			if !ok || sel.Kind() != types.FieldVal {
+				return true
+			}
+			if sameNamed(sel.Recv(), recv) {
+				// Index()[0] is the direct field of recv even when
+				// the selection reaches through embedded structs.
+				mentioned[sel.Index()[0]] = true
+			}
+		case *ast.CompositeLit:
+			if !sameNamed(pass.TypesInfo.TypeOf(n), recv) {
+				return true
+			}
+			if len(n.Elts) > 0 {
+				if _, keyed := n.Elts[0].(*ast.KeyValueExpr); !keyed {
+					for i := range st.NumFields() {
+						mentioned[i] = true
+					}
+					return true
+				}
+			}
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					if i, ok := index[id.Name]; ok {
+						mentioned[i] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return mentioned
+}
+
+// sameNamed reports whether t (possibly behind a pointer or alias) is
+// the named type want.
+func sameNamed(t types.Type, want *types.Named) bool {
+	if t == nil {
+		return false
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj() == want.Obj()
+}
+
+// bearsReference reports whether a value of type t can alias mutable
+// storage after a shallow struct copy: pointers, slices, maps, channels,
+// funcs, and interfaces do, and so does any array or struct containing
+// one. Strings and scalars are safely covered by the shallow copy.
+func bearsReference(t types.Type, seen map[types.Type]bool) bool {
+	t = types.Unalias(t)
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Named:
+		return bearsReference(t.Underlying(), seen)
+	case *types.Array:
+		return bearsReference(t.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if bearsReference(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}

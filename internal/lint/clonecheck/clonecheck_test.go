@@ -1,0 +1,12 @@
+package clonecheck_test
+
+import (
+	"testing"
+
+	"secddr/internal/lint/analysis/analysistest"
+	"secddr/internal/lint/clonecheck"
+)
+
+func TestClonecheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), clonecheck.Analyzer, "a", "forksys")
+}

@@ -1,0 +1,103 @@
+// Package a exercises clonecheck: failing and passing Clone/fork shapes.
+package a
+
+// Leaky forgets its map field: the shallow *n = *t copy leaves n.counts
+// aliasing t.counts, which clonecheck must catch.
+type Leaky struct {
+	name    string
+	counts  map[string]int
+	history []int
+}
+
+func (t *Leaky) Clone() *Leaky { // want `Clone method of Leaky does not handle reference-bearing field counts`
+	n := new(Leaky)
+	*n = *t
+	n.history = append([]int(nil), t.history...)
+	return n
+}
+
+// Complete handles every reference-bearing field; scalars ride the
+// wholesale copy.
+type Complete struct {
+	id      int
+	label   string
+	weights []float64
+	links   map[int]*Complete
+}
+
+func (c *Complete) Clone() *Complete {
+	n := new(Complete)
+	*n = *c
+	n.weights = append([]float64(nil), c.weights...)
+	n.links = make(map[int]*Complete, len(c.links))
+	for k, v := range c.links {
+		n.links[k] = v
+	}
+	return n
+}
+
+// Shared demonstrates the escape hatch: table is an immutable lookup
+// table deliberately aliased across clones.
+type Shared struct {
+	table  []byte //lint:cloned-via immutable after construction, shared on purpose
+	cursor int
+}
+
+func (s *Shared) Clone() *Shared {
+	n := new(Shared)
+	*n = *s
+	return n
+}
+
+// forky checks the lowercase fork spelling used by sim.system.
+type forky struct {
+	buf  []int
+	next *forky
+}
+
+func (f *forky) fork() *forky { // want `fork method of forky does not handle reference-bearing field next`
+	n := new(forky)
+	*n = *f
+	n.buf = append([]int(nil), f.buf...)
+	return n
+}
+
+// Literal clones through a keyed composite literal: keys count as
+// mentions, and the omitted scalar is fine.
+type Literal struct {
+	data map[string]int
+	gen  int
+}
+
+func (l *Literal) Clone() *Literal {
+	d := make(map[string]int, len(l.data))
+	for k, v := range l.data {
+		d[k] = v
+	}
+	return &Literal{data: d, gen: l.gen}
+}
+
+// ValueOnly has no reference-bearing fields at all, so an empty body is
+// complete.
+type ValueOnly struct {
+	a, b int
+	tag  [8]byte
+}
+
+func (v ValueOnly) Clone() ValueOnly { return v }
+
+// Embedded reaches its inner slice through promotion; the promoted
+// selection must count as a mention of the embedding field.
+type core struct{ regs []uint64 }
+
+type Embedded struct {
+	core
+	pc uint64
+}
+
+func (e *Embedded) Clone() *Embedded {
+	n := new(Embedded)
+	*n = *e
+	n.regs = append([]uint64(nil), e.regs...)
+	return n
+}

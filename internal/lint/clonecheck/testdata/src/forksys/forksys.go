@@ -1,0 +1,54 @@
+// Package forksys is a regression fixture mirroring the shape of
+// sim.system.fork: a simulator-state struct whose fork method deep-copies
+// engine state, per-core slices, and MSHR maps — and then grows a new
+// reference-bearing field (pendingEvict) that the fork body never
+// touches. The snapshot reflection walker in internal/sim would only
+// catch the resulting aliasing at test time, on a state graph that
+// happens to populate the field; clonecheck catches it at lint time, on
+// this very declaration. See TestWalkerCatchesPlantedSharing in
+// internal/sim/snapshot_test.go for the runtime half of the story.
+package forksys
+
+type mshrEntry struct {
+	line    uint64
+	waiters []int
+}
+
+type engine struct {
+	backlog []uint64
+}
+
+func (e *engine) Clone() *engine {
+	n := new(engine)
+	*n = *e
+	n.backlog = append([]uint64(nil), e.backlog...)
+	return n
+}
+
+type system struct {
+	cycle      int64
+	engine     *engine
+	byLine     map[uint64]*mshrEntry
+	coreNextAt []int64
+	frozen     []bool
+
+	// The newly added field the fork body below was never taught about:
+	// after fork, parent and child share the same slice backing array.
+	pendingEvict []uint64
+}
+
+func (s *system) fork() *system { // want `fork method of system does not handle reference-bearing field pendingEvict`
+	n := new(system)
+	*n = *s
+	n.engine = s.engine.Clone()
+	n.byLine = make(map[uint64]*mshrEntry, len(s.byLine))
+	for k, e := range s.byLine {
+		d := new(mshrEntry)
+		*d = *e
+		d.waiters = append([]int(nil), e.waiters...)
+		n.byLine[k] = d
+	}
+	n.coreNextAt = append([]int64(nil), s.coreNextAt...)
+	n.frozen = append([]bool(nil), s.frozen...)
+	return n
+}

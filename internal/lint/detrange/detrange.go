@@ -1,0 +1,280 @@
+// Package detrange flags map iteration whose body is sensitive to key
+// order inside the determinism-critical packages (sim, scenario,
+// harness, service, resultstore). Those layers feed digests, canonical
+// strings, result files, and job scheduling, and PR 6's fork scheduler
+// shipped a real bug of exactly this shape: grouping grid points by
+// ranging a map made dispatch order differ run to run. A map range is
+// fine when its body is order-insensitive — building another map,
+// deleting keys, counting — or when the collected keys are sorted before
+// use; anything else (appending without a later sort, last-writer-wins
+// assignments, calls with side effects, float accumulation) is flagged.
+package detrange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"secddr/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc: "map iteration order must not leak into results in determinism-critical packages\n\n" +
+		"In secddr/internal/{sim,scenario,harness,service,resultstore}, a for-range over a\n" +
+		"map may only perform order-insensitive work: write another map, delete, count with\n" +
+		"integer accumulators, or append to a slice that is sorted before use. Sort the keys\n" +
+		"first, or annotate an audited loop with //lint:detrange-ok.",
+	Run: run,
+}
+
+// scopedPackages are the path prefixes where the invariant applies.
+var scopedPackages = []string{
+	"secddr/internal/sim",
+	"secddr/internal/scenario",
+	"secddr/internal/harness",
+	"secddr/internal/service",
+	"secddr/internal/resultstore",
+}
+
+func run(pass *analysis.Pass) error {
+	inScope := false
+	for _, p := range scopedPackages {
+		if analysis.PathHasPrefix(pass.Pkg.Path(), p) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		directives := analysis.DirectiveLines(pass.Fset, file, "detrange-ok")
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !isMapRange(pass, rs) {
+					return true
+				}
+				if analysis.Escaped(pass.Fset, directives, rs.Pos()) {
+					return true
+				}
+				c := &classifier{pass: pass, fn: fd, loop: rs}
+				c.block(rs.Body)
+				if c.offense != nil {
+					pass.Reportf(rs.Pos(),
+						"map iteration order leaks into results (%s at line %d); sort the keys first or annotate //lint:detrange-ok",
+						c.reason, pass.Fset.Position(c.offense.Pos()).Line)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func isMapRange(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// classifier decides whether a map-range body is order-insensitive. It
+// records the first statement that is not, with a human-readable reason.
+type classifier struct {
+	pass    *analysis.Pass
+	fn      *ast.FuncDecl
+	loop    *ast.RangeStmt
+	offense ast.Stmt
+	reason  string
+}
+
+func (c *classifier) flag(s ast.Stmt, reason string) {
+	if c.offense == nil {
+		c.offense = s
+		c.reason = reason
+	}
+}
+
+func (c *classifier) block(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		c.stmt(s)
+	}
+}
+
+func (c *classifier) stmt(s ast.Stmt) {
+	if c.offense != nil {
+		return
+	}
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		c.assign(s)
+	case *ast.IncDecStmt:
+		if !integer(c.pass.TypesInfo.TypeOf(s.X)) {
+			c.flag(s, "non-integer increment accumulates in iteration order")
+		}
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && isBuiltin(c.pass, call.Fun, "delete") {
+			return
+		}
+		c.flag(s, "call with possible side effects runs in map order")
+	case *ast.DeclStmt:
+		// local declarations introduce per-iteration state; harmless
+	case *ast.BranchStmt:
+		// continue/break/goto skip work but do not order it
+	case *ast.IfStmt:
+		c.block(s.Body)
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			c.block(e)
+		case *ast.IfStmt:
+			c.stmt(e)
+		}
+	case *ast.ForStmt:
+		c.block(s.Body)
+	case *ast.RangeStmt:
+		c.block(s.Body)
+	case *ast.SwitchStmt:
+		c.caseBodies(s.Body)
+	case *ast.TypeSwitchStmt:
+		c.caseBodies(s.Body)
+	case *ast.BlockStmt:
+		c.block(s)
+	case *ast.EmptyStmt:
+	case *ast.ReturnStmt:
+		c.flag(s, "return value depends on which key is visited first")
+	case *ast.SendStmt:
+		c.flag(s, "channel send publishes values in map order")
+	default:
+		c.flag(s, "statement is order-sensitive")
+	}
+}
+
+func (c *classifier) caseBodies(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		if cc, ok := s.(*ast.CaseClause); ok {
+			for _, cs := range cc.Body {
+				c.stmt(cs)
+			}
+		}
+	}
+}
+
+func (c *classifier) assign(s *ast.AssignStmt) {
+	switch s.Tok {
+	case token.DEFINE:
+		return // fresh per-iteration binding
+	case token.ASSIGN:
+		for i, lhs := range s.Lhs {
+			if ix, ok := lhs.(*ast.IndexExpr); ok {
+				switch c.pass.TypesInfo.TypeOf(ix.X).Underlying().(type) {
+				case *types.Map, *types.Slice, *types.Array:
+					continue // keyed element writes commute across iteration orders
+				}
+			}
+			if i < len(s.Rhs) && c.sortedAppend(lhs, s.Rhs[i]) {
+				continue
+			}
+			if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			c.flag(s, "last assignment wins, so the result depends on key order")
+			return
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN,
+		token.XOR_ASSIGN, token.MUL_ASSIGN:
+		// Integer accumulation is associative and commutative across
+		// orders; float accumulation is not (rounding), and string/slice
+		// concatenation is ordered by construction.
+		for _, lhs := range s.Lhs {
+			if !integer(c.pass.TypesInfo.TypeOf(lhs)) {
+				c.flag(s, "non-integer accumulation is sensitive to iteration order")
+				return
+			}
+		}
+	default:
+		c.flag(s, "assignment form is order-sensitive")
+	}
+}
+
+// sortedAppend recognizes the collect-then-sort idiom: `x = append(x, ...)`
+// inside the loop is order-insensitive iff the enclosing function sorts x
+// (sort.* or slices.Sort*) after the loop ends.
+func (c *classifier) sortedAppend(lhs ast.Expr, rhs ast.Expr) bool {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || !isBuiltin(c.pass, call.Fun, "append") || len(call.Args) == 0 {
+		return false
+	}
+	if first, ok := call.Args[0].(*ast.Ident); !ok || c.pass.TypesInfo.ObjectOf(first) != c.pass.TypesInfo.ObjectOf(id) {
+		return false
+	}
+	obj := c.pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < c.loop.End() || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := c.pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		path := pn.Imported().Path()
+		if path != "sort" && path != "slices" {
+			return true
+		}
+		arg := call.Args[0]
+		if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			arg = u.X
+		}
+		if aid, ok := arg.(*ast.Ident); ok && c.pass.TypesInfo.ObjectOf(aid) == obj {
+			sorted = true
+			return false
+		}
+		return true
+	})
+	return sorted
+}
+
+func integer(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isBuiltin(pass *analysis.Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}

@@ -1,0 +1,13 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"secddr/internal/lint/analysis/analysistest"
+	"secddr/internal/lint/detrange"
+)
+
+func TestDetrange(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detrange.Analyzer,
+		"secddr/internal/sim/fixt", "other/pkg")
+}

@@ -1,0 +1,11 @@
+// Package pkg lies outside the determinism-scoped paths, so even an
+// order-leaking map range is not detrange's business here.
+package pkg
+
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

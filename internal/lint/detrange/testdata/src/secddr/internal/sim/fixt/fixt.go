@@ -1,0 +1,95 @@
+// Package fixt exercises detrange inside a determinism-scoped package
+// path (secddr/internal/sim/...).
+package fixt
+
+import (
+	"sort"
+)
+
+// appendUnsorted leaks map order into the returned slice.
+func appendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order leaks into results`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// appendSorted is the canonical collect-then-sort idiom: allowed.
+func appendSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// rebuild writes another map: allowed, writes commute.
+func rebuild(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// count accumulates integers: allowed, addition commutes.
+func count(m map[string]bool) int {
+	n := 0
+	for _, v := range m {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// sum accumulates floats: flagged, float addition is not associative.
+func sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `map iteration order leaks into results`
+		total += v
+	}
+	return total
+}
+
+// lastWins keeps whichever value the runtime happens to visit last.
+func lastWins(m map[string]int) int {
+	best := 0
+	for _, v := range m { // want `map iteration order leaks into results`
+		best = v
+	}
+	return best
+}
+
+// emit calls a side-effecting function in map order.
+func emit(m map[string]int, f func(string)) {
+	for k := range m { // want `map iteration order leaks into results`
+		f(k)
+	}
+}
+
+// prune deletes and guards: allowed.
+func prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// annotated carries the audited escape hatch.
+func annotated(m map[string]int, f func(string)) {
+	//lint:detrange-ok order independence audited by hand
+	for k := range m {
+		f(k)
+	}
+}
+
+// sliceFill writes elements keyed by the range key: allowed.
+func sliceFill(m map[int]int, out []int) {
+	for k, v := range m {
+		out[k] = v
+	}
+}

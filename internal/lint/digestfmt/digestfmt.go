@@ -1,0 +1,228 @@
+// Package digestfmt guards the byte-stability of canonical output. The
+// caching stack keys everything on Options.Digest and Options.WarmupKey,
+// which hash formatted strings — so a %v applied to a map (iteration
+// order) or a float (formatting is stable today, but rendering decisions
+// should be explicit where bytes are load-bearing) inside a canonical
+// Stringer, Summary, Digest, or WarmupKey function is a latent digest
+// instability. Types that implement fmt.Stringer are trusted: fmt
+// delegates to their String method, which this analyzer checks wherever
+// it is defined in the module.
+package digestfmt
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"secddr/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "digestfmt",
+	Doc: "no %v/%+v on maps or floats in strings that feed digests or canonical output\n\n" +
+		"Inside String() methods, functions named Summary/Digest/WarmupKey, and functions\n" +
+		"with Canonical in their name, fmt verbs v and +v must not be applied to values\n" +
+		"whose type contains a map (iteration order is random) or a float (rendering should\n" +
+		"be an explicit strconv call where bytes are hashed), unless the value's type has\n" +
+		"its own String method. Annotate audited uses with //lint:digestfmt-ok.",
+	Run: run,
+}
+
+// canonicalNames are function names whose output is canonical by
+// convention in this module.
+var canonicalNames = map[string]bool{"Summary": true, "Digest": true, "WarmupKey": true}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		directives := analysis.DirectiveLines(pass.Fset, file, "digestfmt-ok")
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isCanonicalContext(pass, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkFmtCall(pass, fd, call, directives)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isCanonicalContext reports whether fd produces canonical bytes: a
+// String() string method, a Summary/Digest/WarmupKey function, or any
+// function advertising canonicality in its name.
+func isCanonicalContext(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	if fd.Recv != nil && name == "String" {
+		sig, ok := pass.TypesInfo.TypeOf(fd.Name).(*types.Signature)
+		return ok && sig.Params().Len() == 0 && sig.Results().Len() == 1
+	}
+	return canonicalNames[name] || strings.Contains(strings.ToLower(name), "canonical")
+}
+
+// fmtFuncs maps fmt function names to the index of their format-string
+// argument, or -1 for the formatless variants that render every operand
+// with an implicit %v.
+var fmtFuncs = map[string]int{
+	"Sprintf": 0, "Fprintf": 1, "Appendf": 1,
+	"Sprint": -1, "Fprint": -1, "Append": -1, "Sprintln": -1, "Fprintln": -1,
+}
+
+func checkFmtCall(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr, directives map[int]bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName); !ok || pn.Imported().Path() != "fmt" {
+		return
+	}
+	fmtIdx, ok := fmtFuncs[sel.Sel.Name]
+	if !ok {
+		return
+	}
+
+	if fmtIdx < 0 {
+		for _, arg := range call.Args {
+			checkArg(pass, fd, arg, "implicit %v", directives)
+		}
+		return
+	}
+	if len(call.Args) <= fmtIdx {
+		return
+	}
+	format, ok := constString(pass, call.Args[fmtIdx])
+	if !ok {
+		return
+	}
+	verbArgs := call.Args[fmtIdx+1:]
+	for _, va := range parseVerbs(format) {
+		if va.verb != 'v' {
+			continue
+		}
+		if va.arg < len(verbArgs) {
+			checkArg(pass, fd, verbArgs[va.arg], "%"+va.flags+"v", directives)
+		}
+	}
+}
+
+func checkArg(pass *analysis.Pass, fd *ast.FuncDecl, arg ast.Expr, verb string, directives map[int]bool) {
+	t := pass.TypesInfo.TypeOf(arg)
+	if t == nil {
+		return
+	}
+	unstable := unstableUnder(t, make(map[types.Type]bool))
+	if unstable == "" {
+		return
+	}
+	if analysis.Escaped(pass.Fset, directives, arg.Pos()) {
+		return
+	}
+	pass.Reportf(arg.Pos(),
+		"%s applied to %s (contains %s) inside canonical producer %s; render it explicitly (sorted keys / strconv) or annotate //lint:digestfmt-ok",
+		verb, types.TypeString(t, types.RelativeTo(pass.Pkg)), unstable, fd.Name.Name)
+}
+
+// unstableUnder returns a description of the first unstable component
+// found under t ("a map" or "a float"), or "" when every component
+// renders stably under %v. Types with their own String/Format/Error
+// method are trusted and not descended into.
+func unstableUnder(t types.Type, seen map[types.Type]bool) string {
+	t = types.Unalias(t)
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if analysis.Stringish(t) {
+		return ""
+	}
+	switch t := t.(type) {
+	case *types.Map:
+		return "a map"
+	case *types.Basic:
+		if t.Info()&(types.IsFloat|types.IsComplex) != 0 {
+			return "a float"
+		}
+	case *types.Named:
+		return unstableUnder(t.Underlying(), seen)
+	case *types.Pointer:
+		return unstableUnder(t.Elem(), seen)
+	case *types.Slice:
+		return unstableUnder(t.Elem(), seen)
+	case *types.Array:
+		return unstableUnder(t.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if why := unstableUnder(t.Field(i).Type(), seen); why != "" {
+				return why
+			}
+		}
+	}
+	return ""
+}
+
+func constString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// verbArg pairs one conversion verb with the operand index it consumes.
+type verbArg struct {
+	verb  rune
+	flags string
+	arg   int
+}
+
+// parseVerbs walks a format string and assigns operand indices to verbs,
+// accounting for * width/precision operands and %%. Explicitly indexed
+// verbs (%[n]v) abort parsing — none exist in this module, and guessing
+// would misattribute operands.
+func parseVerbs(format string) []verbArg {
+	var out []verbArg
+	arg := 0
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		var flags strings.Builder
+		for ; i < len(runes); i++ {
+			r := runes[i]
+			switch {
+			case r == '%' && flags.Len() == 0:
+				// literal %%
+			case r == '*':
+				arg++ // width/precision operand
+				continue
+			case r == '[':
+				return out // explicit argument index: bail
+			case strings.ContainsRune("+-# 0.0123456789", r):
+				if r == '+' || r == '#' {
+					flags.WriteRune(r)
+				}
+				continue
+			default:
+				out = append(out, verbArg{verb: r, flags: flags.String(), arg: arg})
+				arg++
+			}
+			break
+		}
+	}
+	return out
+}

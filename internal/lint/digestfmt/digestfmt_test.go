@@ -1,0 +1,12 @@
+package digestfmt_test
+
+import (
+	"testing"
+
+	"secddr/internal/lint/analysis/analysistest"
+	"secddr/internal/lint/digestfmt"
+)
+
+func TestDigestfmt(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), digestfmt.Analyzer, "a")
+}

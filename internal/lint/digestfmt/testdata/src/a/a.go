@@ -1,0 +1,104 @@
+// Package a exercises digestfmt: %v misuse inside canonical producers.
+package a
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Spec has no String method, so %v falls back to fmt's reflection walk —
+// which renders its map in random key order.
+type Spec struct {
+	Name   string
+	Weight float64
+	Tags   map[string]bool
+}
+
+// canonicalSpec formats the raw struct: flagged via the contained map.
+func canonicalSpec(s Spec) string {
+	return fmt.Sprintf("spec %+v", s) // want `\+v applied to Spec \(contains a float\)`
+}
+
+type Point struct {
+	X, Y int
+}
+
+// Summary is canonical by name; Point is all-integer, so %v is stable.
+func Summary(p Point) string {
+	return fmt.Sprintf("point %v scale %d", p, 2)
+}
+
+// Digest hashes its input string; formatting a bare float with %v here
+// is flagged even though today's output is stable — canonical bytes get
+// explicit rendering.
+func Digest(weight float64) string {
+	return fmt.Sprintf("w=%v", weight) // want `%v applied to float64 \(contains a float\)`
+}
+
+// WarmupKey formatting a map directly: flagged.
+func WarmupKey(tags map[string]bool) string {
+	return fmt.Sprintf("tags=%v", tags) // want `%v applied to map\[string\]bool \(contains a map\)`
+}
+
+// Limits is a Stringer whose body leans on %v for a map: the String
+// method itself is a canonical context, so this is flagged.
+type Limits struct {
+	ratios map[string]float64
+}
+
+func (l Limits) String() string {
+	return fmt.Sprintf("limits %v", l.ratios) // want `%v applied to map\[string\]float64 \(contains a map\)`
+}
+
+// canonicalTags renders the map explicitly with sorted keys: clean.
+func canonicalTags(tags map[string]bool) string {
+	keys := make([]string, 0, len(tags))
+	for k := range tags {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatBool(tags[k]))
+		b.WriteByte(' ')
+	}
+	return b.String()
+}
+
+// Stamped renders itself canonically; Wrapped embeds it as a field.
+type Stamped struct {
+	weight float64
+}
+
+func (s Stamped) String() string {
+	return strconv.FormatFloat(s.weight, 'g', -1, 64)
+}
+
+type Wrapped struct {
+	Inner Stamped
+}
+
+// canonicalWrapped: Stamped has its own String method, so fmt delegates
+// to it and the analyzer trusts the type — no finding.
+func canonicalWrapped(w Wrapped) string {
+	return fmt.Sprintf("wrapped %+v", w)
+}
+
+// Sprint renders operands with an implicit %v.
+func (p *Point) canonicalSprint(tags map[string]int) string {
+	return fmt.Sprint(tags) // want `implicit %v applied to map\[string\]int \(contains a map\)`
+}
+
+// helper is not a canonical context: anything goes.
+func helper(tags map[string]bool) string {
+	return fmt.Sprintf("%v", tags)
+}
+
+// Canonical carries the escape hatch.
+func Canonical(weight float64) string {
+	return fmt.Sprintf("w=%v", weight) //lint:digestfmt-ok strconv-equivalent, audited
+}

@@ -1,0 +1,116 @@
+// Package nowallclock forbids wall-clock time and ambient randomness in
+// the simulation packages. All simulator time is cycle-domain and all
+// randomness flows from injected splitmix seeds, so any time.Now or
+// global math/rand call inside those layers is a determinism leak that
+// would make digest-keyed caching unsound. The service, worker, and
+// flock layers legitimately deal in real time (lease TTLs, heartbeats,
+// file-lock timeouts) and are allow-listed, as are the CLIs, scripts,
+// and examples.
+package nowallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"secddr/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nowallclock",
+	Doc: "no wall-clock time or ambient randomness in simulation packages\n\n" +
+		"time.Now/Since/Until/Sleep/timers and package-level math/rand functions are\n" +
+		"forbidden outside the allow-listed real-time layers (service, flock, cmd,\n" +
+		"scripts, examples). Explicitly-seeded rand.New(rand.NewSource(seed)) is fine —\n" +
+		"it is deterministic. Annotate an audited exception with //lint:wallclock-ok.",
+	Run: run,
+}
+
+// allowedPackages may touch real time and ambient randomness: the
+// orchestration layers above the simulator, and everything that is not
+// part of this module at all.
+var allowedPackages = []string{
+	"secddr/internal/service",
+	"secddr/internal/flock",
+	"secddr/internal/lint",
+	"secddr/cmd",
+	"secddr/scripts",
+	"secddr/examples",
+}
+
+// forbiddenTime lists the time functions that read or schedule against
+// the wall clock. Duration arithmetic and formatting remain fine.
+var forbiddenTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// allowedRand lists math/rand package-level names that do NOT draw from
+// the shared global source: constructors taking an explicit seed.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true,
+	"NewChaCha8": true, "NewZipf": true,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if !analysis.PathHasPrefix(path, "secddr") {
+		return nil
+	}
+	for _, p := range allowedPackages {
+		if analysis.PathHasPrefix(path, p) {
+			return nil
+		}
+	}
+
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		directives := analysis.DirectiveLines(pass.Fset, file, "wallclock-ok")
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			var why string
+			switch pn.Imported().Path() {
+			case "time":
+				if forbiddenTime[sel.Sel.Name] {
+					why = "wall-clock time is nondeterministic; simulator time is cycle-domain"
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRand[sel.Sel.Name] && isPkgFunc(pass, sel) {
+					why = "the global rand source is nondeterministic; draw from an injected seeded source"
+				}
+			}
+			if why == "" {
+				return true
+			}
+			if analysis.Escaped(pass.Fset, directives, sel.Pos()) {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "%s.%s in simulation package %s: %s (move it above the simulator or annotate //lint:wallclock-ok)",
+				pkgID.Name, sel.Sel.Name, path, why)
+			return true
+		})
+	}
+	return nil
+}
+
+// isPkgFunc reports whether sel names a package-level function (as
+// opposed to a constant like rand.Int31Max or a type like rand.Rand —
+// method calls on a seeded *rand.Rand arrive as selections on a value,
+// not on a PkgName, and never reach here).
+func isPkgFunc(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	_, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok
+}

@@ -1,0 +1,13 @@
+package nowallclock_test
+
+import (
+	"testing"
+
+	"secddr/internal/lint/analysis/analysistest"
+	"secddr/internal/lint/nowallclock"
+)
+
+func TestNowallclock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), nowallclock.Analyzer,
+		"secddr/internal/sim/fixt", "secddr/cmd/fixt")
+}

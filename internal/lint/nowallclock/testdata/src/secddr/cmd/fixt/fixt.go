@@ -1,0 +1,13 @@
+// Package fixt sits under secddr/cmd, an allow-listed real-time layer:
+// wall-clock use is legitimate here.
+package fixt
+
+import "time"
+
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+func Stamp() time.Time {
+	return time.Now()
+}

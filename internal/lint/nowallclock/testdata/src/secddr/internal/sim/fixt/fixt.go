@@ -1,0 +1,35 @@
+// Package fixt exercises nowallclock inside a simulation package path.
+package fixt
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stamp reads the wall clock in a simulation package: flagged twice.
+func stamp() (time.Time, time.Duration) {
+	start := time.Now()             // want `time\.Now in simulation package`
+	return start, time.Since(start) // want `time\.Since in simulation package`
+}
+
+// jitter draws from the global rand source: flagged.
+func jitter() int {
+	return rand.Intn(10) // want `the global rand source is nondeterministic`
+}
+
+// seeded uses an explicitly-seeded source: allowed, it is deterministic.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// durations does arithmetic on time.Duration without touching the
+// clock: allowed.
+func durations(d time.Duration) time.Duration {
+	return d * 2
+}
+
+// audited carries the escape hatch.
+func audited() time.Time {
+	return time.Now() //lint:wallclock-ok boot banner only, never hashed
+}

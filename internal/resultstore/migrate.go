@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 
 	"secddr/internal/sim"
 )
@@ -33,11 +34,19 @@ func MigrateCheckpoint(path string, s *Store) (migrated int, err error) {
 	if f.Version != 1 {
 		return 0, fmt.Errorf("resultstore: checkpoint %s has version %d, can only migrate version 1", path, f.Version)
 	}
-	for digest, res := range f.Entries {
+	// Record in sorted-digest order, not map order: the segment a
+	// migration writes is then byte-identical across runs, and a
+	// mid-migration failure always leaves the same prefix behind.
+	digests := make([]string, 0, len(f.Entries))
+	for digest := range f.Entries {
+		digests = append(digests, digest)
+	}
+	sort.Strings(digests)
+	for _, digest := range digests {
 		if _, ok := s.Lookup(digest); ok {
 			continue
 		}
-		if err := s.Record(digest, res); err != nil {
+		if err := s.Record(digest, f.Entries[digest]); err != nil {
 			return migrated, err
 		}
 		migrated++

@@ -3,6 +3,7 @@ package service
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -283,6 +284,11 @@ func (q *Queue) Reap() int {
 		j.requeues++
 		expired = append(expired, j)
 	}
+	// The collection loop above visits q.jobs in map order; sort both
+	// harvests by digest so requeue position and failure delivery are
+	// reproducible across runs (see the detrange analyzer).
+	sort.Slice(expired, func(i, k int) bool { return expired[i].Digest < expired[k].Digest })
+	sort.Slice(poisoned, func(i, k int) bool { return poisoned[i].Digest < poisoned[k].Digest })
 	for _, j := range poisoned {
 		delete(q.jobs, j.Digest)
 	}
@@ -321,6 +327,9 @@ func (q *Queue) Shutdown() {
 	q.pending = nil
 	q.wakeLocked()
 	q.mu.Unlock()
+	// q.jobs was walked in map order; fail flights in digest order so
+	// shutdown error delivery is reproducible.
+	sort.Slice(failed, func(i, k int) bool { return failed[i].Digest < failed[k].Digest })
 	for _, j := range failed {
 		j.finish(sim.Result{}, ErrShuttingDown, viaFailed)
 	}

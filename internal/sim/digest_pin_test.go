@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"testing"
+
+	"secddr/internal/config"
+	"secddr/internal/scenario"
+	"secddr/internal/trace"
+)
+
+// The digest values below were recorded before config.Config and
+// trace.Profile grew canonical String methods, when Summary's %+v still
+// rendered both structs through fmt's reflection walk. The Stringers
+// must reproduce those bytes exactly — a digest change here invalidates
+// every harness checkpoint and resultstore entry in the field without
+// any simulator behavior changing, which is exactly the regression this
+// test exists to block. If a deliberate Options/simVersion change moves
+// digests, re-record these constants in the same commit.
+func pinProfile(t *testing.T, name string) trace.Profile {
+	t.Helper()
+	p, ok := trace.ByName(name)
+	if !ok {
+		t.Fatalf("profile %s missing", name)
+	}
+	return p
+}
+
+func TestDigestsPinnedAcrossStringerIntroduction(t *testing.T) {
+	o1 := Options{
+		Config:       config.Table1(config.ModeSecDDRCTR),
+		Workload:     pinProfile(t, "mcf"),
+		InstrPerCore: 50000,
+		WarmupInstr:  20000,
+		Seed:         42,
+	}
+
+	cfg2 := config.Table1(config.ModeInvisiMem)
+	cfg2.Security.InvisiMemRealistic = true
+	cfg2.DRAM.Channels = 4
+	cfg2.Normalize()
+	o2 := Options{
+		Config:       cfg2,
+		Workload:     pinProfile(t, "lbm"),
+		InstrPerCore: 10000,
+		Seed:         7,
+		MSHRsPerCore: 8,
+	}
+
+	sc, ok := scenario.ByName("markov-server")
+	if !ok {
+		t.Fatal("scenario markov-server missing")
+	}
+	o3 := Options{
+		Config:       config.Table1(config.ModeSecDDRXTS),
+		Scenario:     sc,
+		InstrPerCore: 30000,
+		WarmupInstr:  5000,
+		Seed:         9,
+	}
+
+	for _, tc := range []struct {
+		name string
+		opt  Options
+		want string
+	}{
+		{"table1-secddr-ctr-mcf", o1, "7d38a8d8bceb41e3c46527c41247e0350d6e77c0c3bd0e1fb223590086c704d1"},
+		{"invisimem-realistic-4ch-lbm", o2, "fa073e785656637cb84451779fbdf2f957e99aaf96fcce831e1bcc8073688005"},
+		{"secddr-xts-markov-server", o3, "cd6a4a43bed5dbf74a182b8b17b6e5cdb2db652296c9696b3c7c21161fe88ff3"},
+	} {
+		if got := tc.opt.Digest(); got != tc.want {
+			t.Errorf("%s: digest drifted\n got: %s\nwant: %s\nsummary: %s", tc.name, got, tc.want, tc.opt.Summary())
+		}
+	}
+
+	if got, want := o1.WarmupKey(), "0c051daf3b8969d04b54e3fd3117d4b9d6ac99681efeb16a2e44cbbe32946e85"; got != want {
+		t.Errorf("warmup key drifted\n got: %s\nwant: %s", got, want)
+	}
+
+	// The full Summary line for o1, byte for byte: the most direct
+	// statement of what the canonical Stringers must render.
+	wantSummary := "sim-v2 warmup[0c051daf3b8969d0] {Config:{Core:{FetchWidth:6 RetireWidth:6 ROBEntries:224 ClockMHz:3200 NumCores:4} L1D:{SizeBytes:32768 LineBytes:64 Ways:4 HitLatency:4} LLC:{SizeBytes:4194304 LineBytes:64 Ways:16 HitLatency:30} Prefetch:{Enabled:true Streams:16 Degree:2 Dist:4} DRAM:{CapacityBytes:17179869184 Channels:1 Ranks:2 BankGroups:4 Banks:16 RowBytes:8192 LineBytes:64 ClockMHz:1600 Timing:{TCL:22 TCCDS:4 TCCDL:10 TCWL:16 TWTRS:4 TWTRL:12 TRP:22 TRCD:22 TRAS:56 TRTP:12 TWR:24 TRRDS:4 TRRDL:8 TFAW:34 TREFI:12480 TRFC:560 TRTRS:2} ReadQueueEntries:64 WriteQueueEntries:64 WriteDrainHigh:0.75 WriteDrainLow:0.25 ReadBurstBeats:8 WriteBurstBeats:10 RefreshEnabled:true} Security:{Mode:secddr+ctr Encryption:ctr CryptoLatency:40 TreeArity:64 CountersPerLine:64 HashTree:false MetadataCache:{SizeBytes:131072 LineBytes:64 Ways:8 HitLatency:2} EWCRC:true EWCRCBits:16 InvisiMemRealistic:false InvisiMemClockMHz:0} CPUPerMem:2} Workload:{Name:mcf MPKI:50.5 StoreFrac:0.2 DependentFrac:0.6 Footprint:1610612736 HotFrac:0.25 HotBytes:262144 Pattern:chase} Scenario:none InstrPerCore:50000 WarmupInstr:20000 Seed:42 MSHRsPerCore:16 MaxCycles:28000000}"
+	if got := o1.Summary(); got != wantSummary {
+		t.Errorf("summary drifted\n got: %s\nwant: %s", got, wantSummary)
+	}
+}

@@ -416,6 +416,14 @@ func TestForkMutationDoesNotTouchParent(t *testing.T) {
 // exists to catch — must be reported, pointer and slice and map, each with
 // its field path. If this test fails, the walker has rotted and the other
 // snapshot tests prove nothing.
+//
+// This runtime walker is the second line of defense: it only sees fields
+// on state graphs a test actually builds. The first line is static — the
+// clonecheck analyzer (internal/lint/clonecheck, run by secddr-lint in
+// the CI lint job) fails the build the moment a reference-bearing field
+// is added to system or any Clone-bearing type without the fork/Clone
+// body touching it. Its testdata fixture `forksys` plants this very bug
+// in a miniature of system.fork to prove the lint-time catch.
 func TestWalkerCatchesPlantedSharing(t *testing.T) {
 	type inner struct{ n int }
 	type canary struct {

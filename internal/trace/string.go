@@ -1,0 +1,39 @@
+package trace
+
+import (
+	"strconv"
+	"strings"
+)
+
+// String renders the profile in the canonical form hashed by
+// sim.Options.Digest and WarmupKey: byte-for-byte the struct's
+// historical %+v rendering (TestProfileStringMatchesPlusV pins the
+// equivalence), with the float fields produced by explicit
+// strconv.FormatFloat calls instead of fmt's reflection walk. See the
+// digestfmt analyzer in internal/lint for why digest inputs avoid %v.
+func (p Profile) String() string {
+	var b strings.Builder
+	b.WriteString("{Name:")
+	b.WriteString(p.Name)
+	b.WriteString(" MPKI:")
+	b.WriteString(formatFloat(p.MPKI))
+	b.WriteString(" StoreFrac:")
+	b.WriteString(formatFloat(p.StoreFrac))
+	b.WriteString(" DependentFrac:")
+	b.WriteString(formatFloat(p.DependentFrac))
+	b.WriteString(" Footprint:")
+	b.WriteString(strconv.FormatUint(p.Footprint, 10))
+	b.WriteString(" HotFrac:")
+	b.WriteString(formatFloat(p.HotFrac))
+	b.WriteString(" HotBytes:")
+	b.WriteString(strconv.FormatUint(p.HotBytes, 10))
+	b.WriteString(" Pattern:")
+	b.WriteString(p.Pattern.String())
+	b.WriteString("}")
+	return b.String()
+}
+
+// formatFloat matches fmt's %v for float64: shortest 'g' representation.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,30 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+)
+
+// noString strips Profile's String method so %+v of it is the honest
+// reflection rendering Profile.String must reproduce byte-for-byte —
+// these bytes feed sim.Options.Digest and WarmupKey.
+type noString Profile
+
+func TestProfileStringMatchesPlusV(t *testing.T) {
+	cases := Profiles()
+	cases = append(cases,
+		Profile{}, // zero value
+		Profile{
+			Name: "synthetic", MPKI: 0.30000000000000004, StoreFrac: 1e-9,
+			DependentFrac: 123456789.5, Footprint: 1<<63 + 1, HotFrac: -0.25,
+			HotBytes: 0, Pattern: Pattern(99),
+		},
+	)
+	for _, p := range cases {
+		got := p.String()
+		want := fmt.Sprintf("%+v", noString(p))
+		if got != want {
+			t.Errorf("%s: Profile.String diverges from %%+v\n got: %s\nwant: %s", p.Name, got, want)
+		}
+	}
+}

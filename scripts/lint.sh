@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Reproduces the CI lint job locally in one command: gofmt -s, go vet,
+# the secddr-lint invariant suite (clonecheck / detrange / nowallclock /
+# digestfmt — see DESIGN.md "Static invariants"), and, when the tools
+# are installed, staticcheck and govulncheck. CI pins staticcheck at
+# 2025.1.1 and govulncheck at v1.1.4; install them with
+#   go install honnef.co/go/tools/cmd/staticcheck@2025.1.1
+#   go install golang.org/x/vuln/cmd/govulncheck@v1.1.4
+# Run from the repo root: ./scripts/lint.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+echo "== gofmt -s"
+out=$(gofmt -s -l .)
+if [ -n "$out" ]; then
+  echo "gofmt -s needed on:"
+  echo "$out"
+  fail=1
+fi
+
+echo "== go vet"
+go vet ./... || fail=1
+
+echo "== secddr-lint"
+lintbin=$(mktemp -d)/secddr-lint
+go build -o "$lintbin" ./cmd/secddr-lint
+go vet -vettool="$lintbin" ./... || fail=1
+rm -rf "$(dirname "$lintbin")"
+
+if command -v staticcheck >/dev/null 2>&1; then
+  echo "== staticcheck"
+  staticcheck ./... || fail=1
+else
+  echo "== staticcheck (skipped: not installed)"
+fi
+
+if command -v govulncheck >/dev/null 2>&1; then
+  echo "== govulncheck"
+  govulncheck ./... || fail=1
+else
+  echo "== govulncheck (skipped: not installed)"
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "LINT FAILED"
+  exit 1
+fi
+echo "LINT OK"
