@@ -7,11 +7,13 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
 	"secddr/internal/attack"
 	"secddr/internal/core"
+	"secddr/internal/obs"
 )
 
 func main() {
@@ -22,6 +24,13 @@ func main() {
 }
 
 func run() error {
+	version := flag.Bool("version", false, "print build version and exit")
+	flag.Parse()
+	if *version {
+		fmt.Println(obs.Version("secddr-attack"))
+		return nil
+	}
+
 	modes := []core.Mode{core.ModeMACOnly, core.ModeSecDDRNoEWCRC, core.ModeSecDDR}
 	scenarios := []struct {
 		name string

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"secddr/internal/experiments"
+	"secddr/internal/obs"
 	"secddr/internal/resultstore"
 )
 
@@ -43,8 +44,14 @@ func run() error {
 		workers    = flag.Int("workers", 0, "parallel simulations (default NumCPU-1)")
 		checkpoint = flag.String("checkpoint", "", "legacy JSON result cache shared across figures (see secddr-sweep)")
 		storeDir   = flag.String("store", "", "segment result store directory (preferred cache backend; overrides -checkpoint)")
+		version    = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.Version("secddr-figures"))
+		return nil
+	}
 
 	scale := experiments.DefaultScale()
 	if *quick {

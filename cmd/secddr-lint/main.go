@@ -23,14 +23,26 @@
 package main
 
 import (
+	"fmt"
+	"os"
+
 	"secddr/internal/lint/analysis"
 	"secddr/internal/lint/clonecheck"
 	"secddr/internal/lint/detrange"
 	"secddr/internal/lint/digestfmt"
 	"secddr/internal/lint/nowallclock"
+	"secddr/internal/obs"
 )
 
 func main() {
+	// Intercepted before analysis.Main so -version answers here instead
+	// of being parsed as a vettool analyzer flag.
+	for _, arg := range os.Args[1:] {
+		if arg == "-version" || arg == "--version" {
+			fmt.Println(obs.Version("secddr-lint"))
+			return
+		}
+	}
 	analysis.Main(
 		clonecheck.Analyzer,
 		detrange.Analyzer,

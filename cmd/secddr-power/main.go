@@ -10,11 +10,17 @@ import (
 	"fmt"
 
 	"secddr/internal/analysis"
+	"secddr/internal/obs"
 )
 
 func main() {
 	security := flag.Bool("security", true, "include the Section III-B security analysis")
+	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.Version("secddr-power"))
+		return
+	}
 
 	unit := analysis.ReferenceAESUnit()
 	fmt.Println("=== Table II: AES engine power overhead (DDR4-3200, 1600MHz) ===")

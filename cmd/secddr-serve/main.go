@@ -31,13 +31,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // -debug-addr serves the DefaultServeMux profiles
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"secddr/internal/obs"
 	"secddr/internal/resultstore"
 	"secddr/internal/service"
 )
@@ -51,13 +54,26 @@ func main() {
 
 func run() error {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address (port 0 picks a free port)")
-		storeDir = flag.String("store", "secddr-store", "result store directory (created if missing)")
-		workers  = flag.Int("workers", 0, "local simulation pool size (0 = GOMAXPROCS, negative = fleet-only: execute nothing locally, serve leases to secddr-worker processes)")
-		migrate  = flag.String("migrate-checkpoint", "", "import a legacy checkpoint-v1 JSON file into the store at startup")
-		addrFile = flag.String("addr-file", "", "write the server's base URL to this file once listening (for scripts)")
+		addr      = flag.String("addr", ":8080", "listen address (port 0 picks a free port)")
+		storeDir  = flag.String("store", "secddr-store", "result store directory (created if missing)")
+		workers   = flag.Int("workers", 0, "local simulation pool size (0 = GOMAXPROCS, negative = fleet-only: execute nothing locally, serve leases to secddr-worker processes)")
+		migrate   = flag.String("migrate-checkpoint", "", "import a legacy checkpoint-v1 JSON file into the store at startup")
+		addrFile  = flag.String("addr-file", "", "write the server's base URL to this file once listening (for scripts)")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+		logLevel  = flag.String("log-level", "info", "structured log threshold: debug, info, warn, or error")
+		version   = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.Version("secddr-serve"))
+		return nil
+	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("-log-level %q: %w", *logLevel, err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	store, err := resultstore.Open(*storeDir, resultstore.Options{})
 	if err != nil {
@@ -77,13 +93,24 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := service.NewServer(store, service.ServerOptions{Workers: *workers, BaseContext: ctx})
+	srv := service.NewServer(store, service.ServerOptions{Workers: *workers, BaseContext: ctx, Log: logger})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	baseURL := "http://" + ln.Addr().String()
 	fmt.Fprintf(os.Stderr, "secddr-serve: listening on %s (store %s)\n", baseURL, *storeDir)
+	if *debugAddr != "" {
+		go func() {
+			// The blank net/http/pprof import registered its handlers on
+			// the DefaultServeMux; nil serves it. Deliberately a separate
+			// listener so profiles are never exposed on the public API addr.
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				logger.Warn("debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+		logger.Info("pprof debug server", "addr", *debugAddr)
+	}
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(baseURL+"\n"), 0o644); err != nil {
 			return err

@@ -9,6 +9,13 @@
 //	secddr-sim -scenario thrash-one       # built-in multi-core scenario
 //	secddr-sim -list                      # workloads, scenarios, and modes
 //	secddr-sim -print-config              # dump the Table I configuration
+//	secddr-sim -timeline run.json         # Perfetto trace of the run
+//
+// A -timeline trace opens in Perfetto (ui.perfetto.dev) or chrome://tracing:
+// per-channel DRAM issue and refresh spans, MSHR occupancy, scenario phase
+// transitions, and the warmup/measured run markers, all on the simulated
+// cycle clock. The trace never changes the simulation: the instrumented
+// result is byte-identical to a plain run's.
 //
 // For multi-point grids (many workloads x many modes) use secddr-sweep,
 // which runs this same simulator on a parallel, cached campaign harness.
@@ -21,6 +28,7 @@ import (
 	"os"
 
 	"secddr/internal/config"
+	"secddr/internal/obs"
 	"secddr/internal/scenario"
 	"secddr/internal/sim"
 	"secddr/internal/trace"
@@ -45,8 +53,16 @@ func run() error {
 		list        = flag.Bool("list", false, "list workloads and modes")
 		printConfig = flag.Bool("print-config", false, "print the Table I configuration")
 		jsonOut     = flag.Bool("json", false, "print the result as JSON instead of the text report")
+		timeline    = flag.String("timeline", "", "write a Chrome/Perfetto trace-event JSON timeline of the run to this file")
+		tlSample    = flag.Int64("timeline-sample", 256, "minimum cycles between counter samples in the -timeline trace")
+		version     = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.Version("secddr-sim"))
+		return nil
+	}
 
 	if *list {
 		fmt.Println("workloads:")
@@ -106,9 +122,31 @@ func run() error {
 		}
 		opt.Workload = p
 	}
-	res, err := sim.Run(opt)
-	if err != nil {
-		return err
+	var res sim.Result
+	if *timeline != "" {
+		tl := obs.NewTimeline(cfg.Core.ClockMHz, *tlSample, 0)
+		res, err = sim.RunInstrumented(opt, &sim.Instrument{Timeline: tl})
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*timeline)
+		if err != nil {
+			return err
+		}
+		if err := tl.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "secddr-sim: wrote %d trace events to %s (open in ui.perfetto.dev)\n",
+			tl.Events(), *timeline)
+	} else {
+		res, err = sim.Run(opt)
+		if err != nil {
+			return err
+		}
 	}
 
 	if *jsonOut {

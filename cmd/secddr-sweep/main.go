@@ -38,8 +38,10 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"secddr/internal/harness"
+	"secddr/internal/obs"
 	"secddr/internal/resultstore"
 	"secddr/internal/scenario"
 	"secddr/internal/service"
@@ -70,8 +72,15 @@ func run() error {
 		server     = flag.String("server", "", "submit the sweep to a secddr-serve URL instead of simulating locally")
 		out        = flag.String("out", "", "write results as JSON to this file (- for stdout)")
 		csvOut     = flag.String("csv", "", "write results as CSV to this file (- for stdout)")
+		progress   = flag.Bool("progress", stderrIsTerminal(), "print live campaign progress (done/cached/forked/warmups, ETA) to stderr; defaults on when stderr is a terminal")
+		version    = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.Version("secddr-sweep"))
+		return nil
+	}
 
 	spec := service.Spec{
 		Modes:        service.ParseList(*modes),
@@ -118,6 +127,9 @@ func run() error {
 			Workers:    *workers,
 			Checkpoint: *checkpoint,
 		}
+		if *progress {
+			campaign.Progress = progressPrinter()
+		}
 		if *storeDir != "" {
 			store, err := resultstore.Open(*storeDir, resultstore.Options{})
 			if err != nil {
@@ -141,6 +153,41 @@ func run() error {
 		return err
 	}
 	return emit(*csvOut, func(f *os.File) error { return harness.WriteCSV(f, outs) })
+}
+
+// stderrIsTerminal reports whether stderr is a character device — the
+// default gate for the live progress lines, so batch logs stay clean.
+func stderrIsTerminal() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+// progressPrinter returns a Campaign.Progress callback that prints one
+// status line per second (plus the first and last events) with a
+// linear-rate ETA over the points still executing. The harness reports
+// counts only and stays wall-clock free; the clock lives here.
+func progressPrinter() func(harness.Progress) {
+	start := time.Now()
+	var lastPrint time.Time // callback calls are serialized by the harness
+	return func(p harness.Progress) {
+		done := p.CachedJobs + p.Executed
+		now := time.Now()
+		if done < p.TotalJobs && !lastPrint.IsZero() && now.Sub(lastPrint) < time.Second {
+			return
+		}
+		lastPrint = now
+		saved := p.Executed - p.Warmups // warmups avoided by snapshot sharing
+		if saved < 0 {
+			saved = 0
+		}
+		line := fmt.Sprintf("secddr-sweep: %d/%d done (%d cached, %d executed, %d forked, %d warmups saved)",
+			done, p.TotalJobs, p.CachedJobs, p.Executed, p.Forked, saved)
+		if remaining := p.Pending - p.Executed; p.Executed > 0 && remaining > 0 {
+			eta := time.Since(start) / time.Duration(p.Executed) * time.Duration(remaining)
+			line += fmt.Sprintf(", ETA %v", eta.Round(time.Second))
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
 }
 
 // emit writes through fn to path ("-" = stdout, "" = skip).

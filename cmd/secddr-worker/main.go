@@ -21,11 +21,15 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net/http"
+	_ "net/http/pprof" // -debug-addr serves the DefaultServeMux profiles
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"secddr/internal/obs"
 	"secddr/internal/service"
 )
 
@@ -38,14 +42,35 @@ func main() {
 
 func run() error {
 	var (
-		server   = flag.String("server", "", "secddr-serve base URL to attach to (required)")
-		workers  = flag.Int("workers", 0, "parallel simulations in this worker (default GOMAXPROCS)")
-		leaseTTL = flag.Duration("lease-ttl", 30*time.Second, "lease duration to request; the server reclaims jobs from workers silent this long")
-		id       = flag.String("id", "", "worker id shown in server metrics and logs (default host-pid)")
+		server    = flag.String("server", "", "secddr-serve base URL to attach to (required)")
+		workers   = flag.Int("workers", 0, "parallel simulations in this worker (default GOMAXPROCS)")
+		leaseTTL  = flag.Duration("lease-ttl", 30*time.Second, "lease duration to request; the server reclaims jobs from workers silent this long")
+		id        = flag.String("id", "", "worker id shown in server metrics and logs (default host-pid)")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (e.g. localhost:6061); empty disables")
+		logLevel  = flag.String("log-level", "info", "structured log threshold: debug, info, warn, or error")
+		version   = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.Version("secddr-worker"))
+		return nil
+	}
 	if *server == "" {
 		return fmt.Errorf("-server is required (e.g. -server http://127.0.0.1:8080)")
+	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("-log-level %q: %w", *logLevel, err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				logger.Warn("debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+		logger.Info("pprof debug server", "addr", *debugAddr)
 	}
 
 	// SIGINT/SIGTERM: stop leasing, finish and upload in-flight points,
@@ -58,10 +83,8 @@ func run() error {
 		ID:       *id,
 		Workers:  *workers,
 		LeaseTTL: *leaseTTL,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "secddr-worker: "+format+"\n", args...)
-		},
+		Log:      logger,
 	}
-	fmt.Fprintf(os.Stderr, "secddr-worker: attaching to %s\n", *server)
+	logger.Info("attaching", "server", *server)
 	return w.Run(ctx)
 }

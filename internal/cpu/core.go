@@ -84,6 +84,15 @@ type Core struct {
 	lastLoadReady int64 // -1: in flight; otherwise ready cycle
 	haveLastLoad  bool
 
+	// headSince is the cycle at which the current ROB-head entry became
+	// the head. It is updated only at head transitions — retirement
+	// advancing the ring, or a push into an empty ROB — which are
+	// architectural state changes and therefore occur at cycles every
+	// driver executes, so the stall attribution derived from it is exact
+	// under the event-driven driver too (unlike the tick-counting stats
+	// below).
+	headSince int64
+
 	// Stats. Retired/LoadsIssued/StoresIssued count events and are exact
 	// under any driver. Cycles, RetireStalls, and FetchStalls (and hence
 	// IPC()) count *ticks*, so they are meaningful only when the driver
@@ -96,6 +105,16 @@ type Core struct {
 	StoresIssued uint64
 	RetireStalls uint64 // ticks the ROB head blocked retirement
 	FetchStalls  uint64 // ticks fetch was blocked (ROB full / memory)
+
+	// Cycle attribution for the profiler. Unlike the tick-counting stats
+	// above these are exact under any driver: each is the summed ROB-head
+	// occupancy of the retired entries of one kind, computed at
+	// retirement as now-headSince. An entry blocked at the head keeps
+	// accumulating until it retires, so in-order retirement makes the
+	// intervals disjoint: MemStall+StoreStall never exceeds elapsed
+	// cycles, and the remainder is frontend/compute time.
+	MemStallCycles   uint64 // load entries' head occupancy (LLC-miss shadow)
+	StoreStallCycles uint64 // store entries' head occupancy (write backpressure)
 }
 
 // NewCore builds a core reading ops from src and accessing mem.
@@ -109,6 +128,12 @@ func NewCore(cfg config.Core, mem Memory, src OpSource) *Core {
 		lastLoadReady: 0,
 	}
 }
+
+// Source returns the op source the core executes. The simulator uses it
+// to register per-run instrumentation (e.g. scenario phase hooks) on the
+// source a core actually holds — after a fork that is the clone, not the
+// source the core was built with.
+func (c *Core) Source() OpSource { return c.src }
 
 // Done reports whether the trace is exhausted and the pipeline drained.
 func (c *Core) Done() bool {
@@ -237,6 +262,7 @@ func (c *Core) retire(now int64) {
 				c.RetireStalls++
 				return // head blocked on memory
 			}
+			c.MemStallCycles += uint64(now - c.headSince)
 			budget--
 			c.Retired++
 			c.instrs--
@@ -245,6 +271,7 @@ func (c *Core) retire(now int64) {
 				c.RetireStalls++
 				return // write-buffer backpressure
 			}
+			c.StoreStallCycles += uint64(now - c.headSince)
 			c.StoresIssued++
 			budget--
 			c.Retired++
@@ -252,6 +279,7 @@ func (c *Core) retire(now int64) {
 		}
 		c.head = (c.head + 1) % len(c.rob)
 		c.slots--
+		c.headSince = now
 	}
 }
 
@@ -288,14 +316,14 @@ func (c *Core) fetch(now int64) {
 				c.FetchStalls++
 				return
 			}
-			c.pushBatch(take)
+			c.pushBatch(now, take)
 			c.gapLeft -= take
 			budget -= take
 			continue
 		}
 		// Dispatch the memory op.
 		if c.nextOp.Store {
-			c.push(robEntry{kind: kindStore, n: 1, addr: c.nextOp.Addr})
+			c.push(now, robEntry{kind: kindStore, n: 1, addr: c.nextOp.Addr})
 			c.haveOp = false
 			budget--
 			continue
@@ -325,13 +353,16 @@ func (c *Core) fetch(now int64) {
 			c.lastLoadReady = res.ReadyAt
 		}
 		c.haveLastLoad = true
-		c.push(e)
+		c.push(now, e)
 		c.haveOp = false
 		budget--
 	}
 }
 
-func (c *Core) push(e robEntry) {
+func (c *Core) push(now int64, e robEntry) {
+	if c.slots == 0 {
+		c.headSince = now // the new entry is the ROB head
+	}
 	c.rob[(c.head+c.slots)%len(c.rob)] = e
 	c.slots++
 	c.instrs += e.n
@@ -340,7 +371,7 @@ func (c *Core) push(e robEntry) {
 // pushBatch inserts n plain instructions, coalescing with a trailing batch
 // entry so a long gap occupies one ring slot while still counting n
 // instructions against ROB capacity.
-func (c *Core) pushBatch(n int) {
+func (c *Core) pushBatch(now int64, n int) {
 	if c.slots > 0 {
 		tail := &c.rob[(c.head+c.slots-1)%len(c.rob)]
 		if tail.kind == kindBatch {
@@ -349,7 +380,7 @@ func (c *Core) pushBatch(n int) {
 			return
 		}
 	}
-	c.push(robEntry{kind: kindBatch, n: n})
+	c.push(now, robEntry{kind: kindBatch, n: n})
 }
 
 // String summarizes core state.

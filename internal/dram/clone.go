@@ -6,6 +6,7 @@ func (c *Channel) Clone() *Channel {
 	n := new(Channel)
 	*n = *c
 	n.rank = cloneRanks(c.rank)
+	n.bankCols = append([]uint64(nil), c.bankCols...)
 	return n
 }
 
@@ -31,6 +32,8 @@ func (c *Channel) AdoptState(src *Channel) {
 	c.RowMisses = src.RowMisses
 	c.RowConflicts = src.RowConflicts
 	c.DataBusBusyCycles = src.DataBusBusyCycles
+	c.RefreshShadowCycles = src.RefreshShadowCycles
+	c.bankCols = append([]uint64(nil), src.bankCols...)
 }
 
 func cloneRanks(src []rankState) []rankState {

@@ -93,6 +93,14 @@ type Channel struct {
 	NumACT, NumPRE, NumRD, NumWR, NumREF uint64
 	RowHits, RowMisses, RowConflicts     uint64
 	DataBusBusyCycles                    uint64
+	// RefreshShadowCycles accumulates tRFC memory cycles per issued REF:
+	// the windows in which a rank is unusable behind refresh. Windows of
+	// different ranks may overlap in time, so this is rank-shadow work,
+	// not an exclusive-busy wall time.
+	RefreshShadowCycles uint64
+	// bankCols counts column commands (RD+WR) per bank, indexed
+	// rank*Banks + bankIdx — the profiler's bank-utilization histogram.
+	bankCols []uint64
 }
 
 // NewChannel constructs a channel from the DRAM configuration.
@@ -109,6 +117,7 @@ func NewChannel(cfg config.DRAM) (*Channel, error) {
 		lastBurstRank: -1,
 		lastCmdCycle:  -1,
 	}
+	ch.bankCols = make([]uint64, cfg.Ranks*cfg.Banks)
 	ch.rank = make([]rankState, cfg.Ranks)
 	for r := range ch.rank {
 		banks := make([]bankState, cfg.Banks)
@@ -281,6 +290,7 @@ func (c *Channel) Issue(cmd Command, loc Loc, now int64) int64 {
 
 	case CmdRD:
 		c.NumRD++
+		c.bankCols[loc.Rank*c.cfg.Banks+c.bankIdx(loc)]++
 		dataStart := now + int64(c.t.TCL)
 		dataEnd := dataStart + c.readBL
 		c.occupyBus(dataStart, dataEnd, loc.Rank)
@@ -299,6 +309,7 @@ func (c *Channel) Issue(cmd Command, loc Loc, now int64) int64 {
 
 	case CmdWR:
 		c.NumWR++
+		c.bankCols[loc.Rank*c.cfg.Banks+c.bankIdx(loc)]++
 		dataStart := now + int64(c.t.TCWL)
 		dataEnd := dataStart + c.writeBL
 		c.occupyBus(dataStart, dataEnd, loc.Rank)
@@ -318,6 +329,7 @@ func (c *Channel) Issue(cmd Command, loc Loc, now int64) int64 {
 
 	case CmdREF:
 		c.NumREF++
+		c.RefreshShadowCycles += uint64(c.t.TRFC)
 		rk.refBusy = now + int64(c.t.TRFC)
 		rk.nextREF += int64(c.t.TREFI)
 		rk.pendingREF = false
@@ -353,6 +365,48 @@ func (c *Channel) occupyBus(start, end int64, rank int) {
 	c.DataBusBusyCycles += uint64(end - start)
 	c.dataBusFreeAt = end
 	c.lastBurstRank = rank
+}
+
+// Counters is a value snapshot of a channel's accumulated statistics,
+// taken by the profiler at the measured-region boundary so per-channel
+// deltas can be reported without reaching into live channel state.
+type Counters struct {
+	ACT, PRE, RD, WR, REF            uint64
+	RowHits, RowMisses, RowConflicts uint64
+	BusBusyCycles                    uint64
+	RefreshShadowCycles              uint64
+	BankCols                         []uint64 // per-bank column commands, rank-major
+}
+
+// Counters returns a snapshot of the channel's statistics; the BankCols
+// slice is a copy.
+func (c *Channel) Counters() Counters {
+	return Counters{
+		ACT: c.NumACT, PRE: c.NumPRE, RD: c.NumRD, WR: c.NumWR, REF: c.NumREF,
+		RowHits: c.RowHits, RowMisses: c.RowMisses, RowConflicts: c.RowConflicts,
+		BusBusyCycles:       c.DataBusBusyCycles,
+		RefreshShadowCycles: c.RefreshShadowCycles,
+		BankCols:            append([]uint64(nil), c.bankCols...),
+	}
+}
+
+// Sub returns the element-wise difference k - base: the counter activity
+// since base was snapshotted. The two snapshots must come from the same
+// channel (equal BankCols geometry).
+func (k Counters) Sub(base Counters) Counters {
+	d := Counters{
+		ACT: k.ACT - base.ACT, PRE: k.PRE - base.PRE, RD: k.RD - base.RD,
+		WR: k.WR - base.WR, REF: k.REF - base.REF,
+		RowHits: k.RowHits - base.RowHits, RowMisses: k.RowMisses - base.RowMisses,
+		RowConflicts:        k.RowConflicts - base.RowConflicts,
+		BusBusyCycles:       k.BusBusyCycles - base.BusBusyCycles,
+		RefreshShadowCycles: k.RefreshShadowCycles - base.RefreshShadowCycles,
+		BankCols:            append([]uint64(nil), k.BankCols...),
+	}
+	for i := range d.BankCols {
+		d.BankCols[i] -= base.BankCols[i]
+	}
+	return d
 }
 
 // RecordRowOutcome lets the controller attribute a row-buffer outcome for

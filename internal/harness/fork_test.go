@@ -170,3 +170,43 @@ func TestFig6GroupingByWarmupKey(t *testing.T) {
 		}
 	}
 }
+
+// TestProgressReporting drives the fork scheduler with a Progress callback
+// and checks that the final snapshot matches Stats: every point reported,
+// forks and warmups accounted, and the resolution event seen first.
+func TestProgressReporting(t *testing.T) {
+	var (
+		mu     sync.Mutex
+		events []Progress
+	)
+	_, stats, err := Run(Campaign{
+		Jobs: forkGrid().Jobs(),
+		Progress: func(p Progress) {
+			mu.Lock()
+			events = append(events, p)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events")
+	}
+	first, last := events[0], events[len(events)-1]
+	if first.TotalJobs != 6 || first.Pending != 6 || first.Executed != 0 {
+		t.Errorf("resolution event = %+v", first)
+	}
+	if last.Executed != stats.Executed || last.Forked != stats.Forked || last.Warmups != stats.Warmups {
+		t.Errorf("final event %+v disagrees with stats %+v", last, stats)
+	}
+	// Two 3-point groups: each warms once and forks all three members.
+	if stats.Forked != 6 || stats.Warmups != 2 {
+		t.Errorf("Forked/Warmups = %d/%d, want 6/2", stats.Forked, stats.Warmups)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Executed < events[i-1].Executed {
+			t.Fatalf("Executed went backwards at event %d: %+v -> %+v", i, events[i-1], events[i])
+		}
+	}
+}

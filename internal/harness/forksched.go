@@ -24,7 +24,7 @@ import (
 // in-flight points, whose results still reach the store.
 func (c Campaign) runFlat(ctx context.Context, order []string, pending map[string]sim.Options,
 	keyOf map[string]string, store Store, executed map[string]sim.Result,
-	mu *sync.Mutex, firstErr *error) {
+	mu *sync.Mutex, firstErr *error, prog *progressTracker) {
 
 	var wg sync.WaitGroup
 	ch := make(chan string)
@@ -51,6 +51,9 @@ func (c Campaign) runFlat(ctx context.Context, order []string, pending map[strin
 					executed[d] = res
 				}
 				mu.Unlock()
+				if err == nil {
+					prog.executed(false)
+				}
 			}
 		}()
 	}
@@ -83,7 +86,7 @@ dispatch:
 // before new ones are created.
 func (c Campaign) runForked(ctx context.Context, order []string, pending map[string]sim.Options,
 	keyOf map[string]string, store Store, executed map[string]sim.Result,
-	mu *sync.Mutex, firstErr *error) {
+	mu *sync.Mutex, firstErr *error, prog *progressTracker) {
 
 	type group struct{ digests []string }
 	groupIdx := make(map[string]int)
@@ -121,7 +124,7 @@ func (c Campaign) runForked(ctx context.Context, order []string, pending map[str
 		defer mu.Unlock()
 		return *firstErr != nil
 	}
-	finish := func(d string, res sim.Result, err error) {
+	finish := func(d string, res sim.Result, err error, forked bool) {
 		if err != nil && c.OnError != nil {
 			c.OnError(d, err)
 		}
@@ -137,6 +140,9 @@ func (c Campaign) runForked(ctx context.Context, order []string, pending map[str
 			executed[d] = res
 		}
 		mu.Unlock()
+		if err == nil {
+			prog.executed(forked)
+		}
 	}
 
 	var wg sync.WaitGroup
@@ -177,11 +183,15 @@ func (c Campaign) runForked(ctx context.Context, order []string, pending map[str
 				switch {
 				case g == nil:
 					res, err := ft.warmed.Fork(pending[ft.digest])
-					finish(ft.digest, res, err)
+					finish(ft.digest, res, err, true)
 				case len(g.digests) == 1:
+					// A cold run pays its own (uncounted-by-Warmup) timed
+					// warmup; count it so Executed - Warmups is exactly the
+					// number of warmups sharing saved.
+					prog.warmup()
 					d := g.digests[0]
 					res, err := sim.Run(pending[d])
-					finish(d, res, err)
+					finish(d, res, err, false)
 				default:
 					d0 := g.digests[0]
 					warmed, err := sim.Warmup(pending[d0])
@@ -200,6 +210,7 @@ func (c Campaign) runForked(ctx context.Context, order []string, pending map[str
 						}
 						mu.Unlock()
 					} else {
+						prog.warmup()
 						qmu.Lock()
 						for _, d := range g.digests {
 							forks = append(forks, forkTask{warmed: warmed, digest: d})

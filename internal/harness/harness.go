@@ -154,6 +154,67 @@ type Campaign struct {
 	// its lease batch; Store.Record failures are not reported here (they
 	// are the caller's storage, not the point's fate).
 	OnError func(digest string, err error)
+	// Progress, when non-nil, observes campaign progress: once after cache
+	// resolution (Pending fixed, Executed zero), then after every timed
+	// warmup and every completed point. Calls are serialized under an
+	// internal lock, in completion order, from worker goroutines — keep
+	// the callback fast and do not call back into the campaign. The
+	// harness reports counts only; wall-clock rates and ETA belong to the
+	// caller (the harness itself is wall-clock free).
+	Progress func(Progress)
+}
+
+// Progress is a snapshot of a running campaign's completion state.
+type Progress struct {
+	TotalJobs  int `json:"total_jobs"`  // jobs in the campaign
+	CachedJobs int `json:"cached_jobs"` // jobs satisfied by the store at resolution
+	Pending    int `json:"pending"`     // distinct points scheduled for execution
+	Executed   int `json:"executed"`    // pending points completed so far
+	Forked     int `json:"forked"`      // points satisfied by forking a shared warmed snapshot
+	Warmups    int `json:"warmups"`     // timed warmup phases run so far
+}
+
+// progressTracker accumulates Progress and serializes the callback.
+type progressTracker struct {
+	mu sync.Mutex
+	fn func(Progress)
+	p  Progress
+}
+
+func (t *progressTracker) emit() {
+	if t.fn != nil {
+		t.fn(t.p)
+	}
+}
+
+func (t *progressTracker) resolved(total, cached, pending int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.p.TotalJobs, t.p.CachedJobs, t.p.Pending = total, cached, pending
+	t.emit()
+}
+
+func (t *progressTracker) warmup() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.p.Warmups++
+	t.emit()
+}
+
+func (t *progressTracker) executed(forked bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.p.Executed++
+	if forked {
+		t.p.Forked++
+	}
+	t.emit()
+}
+
+func (t *progressTracker) snapshot() Progress {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.p
 }
 
 func (c Campaign) workers() int {
@@ -179,6 +240,12 @@ type Stats struct {
 	Executed int `json:"executed"` // simulations actually run
 	Cached   int `json:"cached"`   // jobs served from the checkpoint cache
 	Deduped  int `json:"deduped"`  // jobs served by an identical job in the same batch
+	// Forked counts executed points satisfied by forking a shared warmed
+	// snapshot, and Warmups the timed warmup phases actually run; both are
+	// zero when a substituted Sim bypasses the fork scheduler. Executed -
+	// Warmups is the number of warmups the scheduler saved.
+	Forked  int `json:"forked"`
+	Warmups int `json:"warmups"`
 }
 
 // Index collapses outcomes to a key -> result map.
@@ -247,14 +314,18 @@ func RunContext(ctx context.Context, c Campaign) ([]Outcome, Stats, error) {
 		mu       sync.Mutex
 		firstErr error
 	)
+	prog := &progressTracker{fn: c.Progress}
+	prog.resolved(stats.Total, stats.Cached, len(order))
 	if c.Sim == nil {
 		// Built-in simulator: the fork-after-warmup scheduler shares one
 		// warmup per snapshot group (forksched.go).
-		c.runForked(ctx, order, pending, keyOf, store, executed, &mu, &firstErr)
+		c.runForked(ctx, order, pending, keyOf, store, executed, &mu, &firstErr, prog)
 	} else {
-		c.runFlat(ctx, order, pending, keyOf, store, executed, &mu, &firstErr)
+		c.runFlat(ctx, order, pending, keyOf, store, executed, &mu, &firstErr, prog)
 	}
 	stats.Executed = len(executed)
+	p := prog.snapshot()
+	stats.Forked, stats.Warmups = p.Forked, p.Warmups
 	if firstErr != nil {
 		return nil, stats, firstErr
 	}

@@ -1,0 +1,65 @@
+// Package obs is the observability layer's toolbox: build identification
+// for the cmd binaries, a Prometheus text-exposition writer and matching
+// hand-rolled parser (used by the /metrics smoke checks), and a
+// cycle-domain run Timeline that serializes to Chrome/Perfetto
+// trace-event JSON.
+//
+// Everything in this package is deterministic and wall-clock free: the
+// Timeline's timestamps are simulated cycles converted with the
+// configured core clock, never host time, and the exposition writer
+// renders in insertion order. Wall-clock observations (queue wait, lease
+// duration, ...) are made by the service layer — which is allowed to
+// touch real time — and arrive here as plain histogram values.
+package obs
+
+import (
+	"runtime/debug"
+	"strings"
+)
+
+// BuildFields returns the module version and VCS revision baked into the
+// running binary by the Go toolchain, with "unknown" placeholders when
+// the binary was built outside a module or checkout (go test, go run).
+func BuildFields() (version, revision string) {
+	version, revision = "unknown", "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return version, revision
+	}
+	if bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+			if len(revision) > 12 {
+				revision = revision[:12]
+			}
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if dirty {
+		revision += "-dirty"
+	}
+	return version, revision
+}
+
+// Version renders the one-line answer to a cmd binary's -version flag.
+func Version(binary string) string {
+	v, rev := BuildFields()
+	var b strings.Builder
+	b.WriteString(binary)
+	b.WriteString(" ")
+	b.WriteString(v)
+	b.WriteString(" (")
+	b.WriteString(rev)
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		b.WriteString(", ")
+		b.WriteString(bi.GoVersion)
+	}
+	b.WriteString(")")
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+
+	"secddr/internal/stats"
+)
+
+// Label is one Prometheus label pair. Labels are rendered in the order
+// given — callers pass them sorted when determinism matters.
+type Label struct {
+	Name, Value string
+}
+
+// Exposition builds a Prometheus text-exposition (version 0.0.4) document:
+// each metric family gets its # HELP / # TYPE header followed by its
+// samples, in insertion order. The zero value is ready to use.
+type Exposition struct {
+	b strings.Builder
+}
+
+// header emits the HELP/TYPE preamble for one family.
+func (e *Exposition) header(name, help, typ string) {
+	e.b.WriteString("# HELP ")
+	e.b.WriteString(name)
+	e.b.WriteString(" ")
+	e.b.WriteString(strings.NewReplacer("\\", `\\`, "\n", `\n`).Replace(help))
+	e.b.WriteString("\n# TYPE ")
+	e.b.WriteString(name)
+	e.b.WriteString(" ")
+	e.b.WriteString(typ)
+	e.b.WriteString("\n")
+}
+
+// sample emits one `name{labels} value` line.
+func (e *Exposition) sample(name string, labels []Label, value string) {
+	e.b.WriteString(name)
+	if len(labels) > 0 {
+		e.b.WriteString("{")
+		for i, l := range labels {
+			if i > 0 {
+				e.b.WriteString(",")
+			}
+			e.b.WriteString(l.Name)
+			e.b.WriteString(`="`)
+			e.b.WriteString(strings.NewReplacer("\\", `\\`, `"`, `\"`, "\n", `\n`).Replace(l.Value))
+			e.b.WriteString(`"`)
+		}
+		e.b.WriteString("}")
+	}
+	e.b.WriteString(" ")
+	e.b.WriteString(value)
+	e.b.WriteString("\n")
+}
+
+// Counter emits a monotonically increasing counter family with one sample.
+func (e *Exposition) Counter(name, help string, v int64) {
+	e.header(name, help, "counter")
+	e.sample(name, nil, strconv.FormatInt(v, 10))
+}
+
+// Gauge emits a gauge family with one unlabelled sample.
+func (e *Exposition) Gauge(name, help string, v float64) {
+	e.header(name, help, "gauge")
+	e.sample(name, nil, formatFloat(v))
+}
+
+// InfoGauge emits the `name{labels} 1` idiom used for build metadata.
+func (e *Exposition) InfoGauge(name, help string, labels ...Label) {
+	e.header(name, help, "gauge")
+	e.sample(name, labels, "1")
+}
+
+// Histogram emits h as a Prometheus histogram: cumulative `le` buckets at
+// the stats package's power-of-two bounds (trailing empty buckets are
+// elided), the +Inf bucket, and the _sum/_count pair.
+func (e *Exposition) Histogram(name, help string, h *stats.Histogram) {
+	e.header(name, help, "histogram")
+	var cum, sum, count uint64
+	if h != nil {
+		counts := h.BucketCounts()
+		top := -1
+		for i, c := range counts {
+			if c > 0 {
+				top = i
+			}
+		}
+		for i := 0; i <= top; i++ {
+			cum += counts[i]
+			// Bucket i holds 2^i <= v < 2^(i+1) (v <= 1 for bucket 0), so
+			// its exact inclusive bound is 2^(i+1)-1.
+			le := 2*stats.BucketUpper(i) - 1
+			e.sample(name+"_bucket", []Label{{"le", strconv.FormatUint(le, 10)}}, strconv.FormatUint(cum, 10))
+		}
+		sum, count = h.Sum(), h.Count()
+	}
+	e.sample(name+"_bucket", []Label{{"le", "+Inf"}}, strconv.FormatUint(count, 10))
+	e.sample(name+"_sum", nil, strconv.FormatUint(sum, 10))
+	e.sample(name+"_count", nil, strconv.FormatUint(count, 10))
+}
+
+// String returns the document rendered so far.
+func (e *Exposition) String() string { return e.b.String() }
+
+func formatFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	if s == "+Inf" || s == "-Inf" || s == "NaN" {
+		return s
+	}
+	return s
+}
+
+// metricNameOK reports whether s is a legal Prometheus metric/label name.
+func metricNameOK(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"secddr/internal/stats"
+)
+
+func TestExpositionRoundTrip(t *testing.T) {
+	h := stats.NewHistogram()
+	for _, v := range []uint64{1, 3, 3, 90, 5000} {
+		h.Observe(v)
+	}
+	var e Exposition
+	e.Counter("secddr_jobs_done_total", "jobs completed", 42)
+	e.Gauge("secddr_queue_depth", "pending jobs", 3)
+	e.InfoGauge("secddr_build_info", "build metadata",
+		Label{"revision", "abc123"}, Label{"version", "(devel)"})
+	e.Histogram("secddr_queue_wait_us", "queue wait in microseconds", h)
+	e.Histogram("secddr_empty_us", "never observed", stats.NewHistogram())
+	e.Histogram("secddr_nil_us", "nil histogram", nil)
+
+	fams, err := ParseExposition(strings.NewReader(e.String()))
+	if err != nil {
+		t.Fatalf("own output does not parse: %v\n%s", err, e.String())
+	}
+	if v, ok := fams["secddr_jobs_done_total"].Value(); !ok || v != 42 {
+		t.Errorf("counter = %v/%v, want 42", v, ok)
+	}
+	if fams["secddr_jobs_done_total"].Type != "counter" {
+		t.Errorf("counter family type = %q", fams["secddr_jobs_done_total"].Type)
+	}
+	bi := fams["secddr_build_info"]
+	if len(bi.Samples) != 1 || bi.Samples[0].Labels["revision"] != "abc123" {
+		t.Errorf("build info labels = %+v", bi.Samples)
+	}
+	qw := fams["secddr_queue_wait_us"]
+	if qw.Type != "histogram" {
+		t.Fatalf("queue wait type = %q", qw.Type)
+	}
+	var count, sum float64
+	for _, s := range qw.Samples {
+		switch s.Name {
+		case "secddr_queue_wait_us_count":
+			count = s.Value
+		case "secddr_queue_wait_us_sum":
+			sum = s.Value
+		}
+	}
+	if count != 5 || sum != 1+3+3+90+5000 {
+		t.Errorf("histogram count/sum = %v/%v, want 5/%d", count, sum, 1+3+3+90+5000)
+	}
+	// Empty and nil histograms still render the complete valid skeleton.
+	for _, name := range []string{"secddr_empty_us", "secddr_nil_us"} {
+		var c float64 = -1
+		for _, s := range fams[name].Samples {
+			if s.Name == name+"_count" {
+				c = s.Value
+			}
+		}
+		if c != 0 {
+			t.Errorf("%s count = %v, want 0", name, c)
+		}
+	}
+}
+
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE": "secddr_x 1\n",
+		"unknown type":        "# TYPE secddr_x rainbow\nsecddr_x 1\n",
+		"duplicate TYPE":      "# TYPE secddr_x gauge\n# TYPE secddr_x gauge\n",
+		"bad value":           "# TYPE secddr_x gauge\nsecddr_x banana\n",
+		"unterminated labels": "# TYPE secddr_x gauge\nsecddr_x{a=\"b\" 1\n",
+		"bucket without le":   "# TYPE secddr_h histogram\nsecddr_h_bucket 1\nsecddr_h_count 1\nsecddr_h_sum 1\n",
+		"missing +Inf": "# TYPE secddr_h histogram\n" +
+			"secddr_h_bucket{le=\"1\"} 1\nsecddr_h_sum 1\nsecddr_h_count 1\n",
+		"Inf disagrees with count": "# TYPE secddr_h histogram\n" +
+			"secddr_h_bucket{le=\"+Inf\"} 3\nsecddr_h_sum 1\nsecddr_h_count 1\n",
+		"non-cumulative buckets": "# TYPE secddr_h histogram\n" +
+			"secddr_h_bucket{le=\"1\"} 5\nsecddr_h_bucket{le=\"2\"} 3\n" +
+			"secddr_h_bucket{le=\"+Inf\"} 5\nsecddr_h_sum 9\nsecddr_h_count 5\n",
+	}
+	for name, doc := range cases {
+		if _, err := ParseExposition(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: parsed without error:\n%s", name, doc)
+		}
+	}
+}
+
+func TestParseExpositionTolerates(t *testing.T) {
+	doc := "# a free-form comment\n" +
+		"# TYPE secddr_x gauge\n" +
+		"secddr_x{w=\"a\\\"b\"} 1.5 1700000000\n" + // escaped quote + timestamp
+		"\n" +
+		"# TYPE secddr_inf gauge\nsecddr_inf +Inf\n"
+	fams, err := ParseExposition(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("tolerant parse failed: %v", err)
+	}
+	if got := fams["secddr_x"].Samples[0].Labels["w"]; got != `a"b` {
+		t.Errorf("escaped label = %q", got)
+	}
+	if v, _ := fams["secddr_inf"].Value(); !math.IsInf(v, 1) {
+		t.Errorf("inf value = %v", v)
+	}
+}
+
+func TestVersionNonEmpty(t *testing.T) {
+	v := Version("secddr-test")
+	if !strings.HasPrefix(v, "secddr-test ") {
+		t.Errorf("Version() = %q, want binary-name prefix", v)
+	}
+	ver, rev := BuildFields()
+	if ver == "" || rev == "" {
+		t.Errorf("BuildFields() = %q/%q, want non-empty placeholders", ver, rev)
+	}
+}

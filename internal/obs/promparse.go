@@ -1,0 +1,301 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric name (which for
+// histograms carries the _bucket/_sum/_count suffix), its labels, and the
+// parsed value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// MetricFamily groups the samples under one # TYPE declaration.
+type MetricFamily struct {
+	Name    string
+	Help    string
+	Type    string // counter, gauge, histogram, summary, untyped
+	Samples []Sample
+}
+
+// Value returns the family's single unlabelled sample value, for the
+// common `name value` counters and gauges; ok is false when the family
+// has no such sample.
+func (f *MetricFamily) Value() (v float64, ok bool) {
+	for _, s := range f.Samples {
+		if s.Name == f.Name && len(s.Labels) == 0 {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// validTypes are the metric types of exposition format 0.0.4.
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
+}
+
+// ParseExposition parses and validates a Prometheus text-exposition
+// (version 0.0.4) document: every sample line must parse, belong to a
+// family declared by a preceding # TYPE line, and histogram families must
+// have cumulative nondecreasing `le` buckets ending in +Inf that agrees
+// with _count. It exists so CI can assert /metrics is standard exposition
+// without importing a Prometheus client library.
+func ParseExposition(r io.Reader) (map[string]*MetricFamily, error) {
+	families := make(map[string]*MetricFamily)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, families); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := familyFor(families, s.Name)
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %q has no preceding # TYPE declaration", lineNo, s.Name)
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fam := families[name]
+		if fam.Type == "histogram" {
+			if err := validateHistogram(fam); err != nil {
+				return nil, fmt.Errorf("histogram %s: %w", name, err)
+			}
+		}
+	}
+	return families, nil
+}
+
+// parseComment handles # HELP and # TYPE lines (other comments are
+// ignored, per the format).
+func parseComment(line string, families map[string]*MetricFamily) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !metricNameOK(fields[2]) {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+		fam := ensureFamily(families, fields[2])
+		if len(fields) == 4 {
+			fam.Help = fields[3]
+		}
+	case "TYPE":
+		if len(fields) != 4 || !metricNameOK(fields[2]) {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		if !validTypes[fields[3]] {
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+		fam := ensureFamily(families, fields[2])
+		if fam.Type != "" {
+			return fmt.Errorf("duplicate TYPE for %s", fields[2])
+		}
+		if len(fam.Samples) > 0 {
+			return fmt.Errorf("TYPE for %s after its samples", fields[2])
+		}
+		fam.Type = fields[3]
+	}
+	return nil
+}
+
+func ensureFamily(families map[string]*MetricFamily, name string) *MetricFamily {
+	fam, ok := families[name]
+	if !ok {
+		fam = &MetricFamily{Name: name}
+		families[name] = fam
+	}
+	return fam
+}
+
+// familyFor resolves a sample name to its declared family, stripping the
+// histogram/summary suffixes when the base family is declared.
+func familyFor(families map[string]*MetricFamily, sample string) *MetricFamily {
+	if fam, ok := families[sample]; ok && fam.Type != "" {
+		return fam
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(sample, suffix)
+		if !ok {
+			continue
+		}
+		if fam, ok := families[base]; ok && (fam.Type == "histogram" || fam.Type == "summary") {
+			return fam
+		}
+	}
+	return nil
+}
+
+// parseSample parses `name{l="v",...} value`.
+func parseSample(line string) (Sample, error) {
+	s := Sample{}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample line %q", line)
+	}
+	s.Name = line[:i]
+	if !metricNameOK(s.Name) {
+		return s, fmt.Errorf("bad metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		labels, tail, err := parseLabels(rest[1:])
+		if err != nil {
+			return s, fmt.Errorf("sample %s: %w", s.Name, err)
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// A timestamp after the value is legal in the format; tolerate it.
+	if j := strings.IndexByte(rest, ' '); j >= 0 {
+		rest = rest[:j]
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("sample %s: %w", s.Name, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes `name="value",...}` and returns the remainder.
+func parseLabels(s string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	for {
+		s = strings.TrimLeft(s, " ,")
+		if s == "" {
+			return nil, "", fmt.Errorf("unterminated label set")
+		}
+		if s[0] == '}' {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '=' in %q", s)
+		}
+		name := s[:eq]
+		if !metricNameOK(name) {
+			return nil, "", fmt.Errorf("bad label name %q", name)
+		}
+		s = s[eq+1:]
+		if s == "" || s[0] != '"' {
+			return nil, "", fmt.Errorf("label %s: value not quoted", name)
+		}
+		var b strings.Builder
+		i := 1
+		for ; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			b.WriteByte(c)
+		}
+		if i == len(s) {
+			return nil, "", fmt.Errorf("label %s: unterminated value", name)
+		}
+		labels[name] = b.String()
+		s = s[i+1:]
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// validateHistogram checks the cumulative-bucket invariants.
+func validateHistogram(f *MetricFamily) error {
+	var (
+		lastLe    = math.Inf(-1)
+		lastCum   float64
+		haveInf   bool
+		infCount  float64
+		count     float64
+		haveCount bool
+	)
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			leStr, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("bucket sample without le label")
+			}
+			le, err := parseValue(leStr)
+			if err != nil {
+				return fmt.Errorf("bad le %q: %w", leStr, err)
+			}
+			if le <= lastLe {
+				return fmt.Errorf("le bounds not increasing (%v after %v)", le, lastLe)
+			}
+			if s.Value < lastCum {
+				return fmt.Errorf("cumulative bucket counts decreasing at le=%v", le)
+			}
+			lastLe, lastCum = le, s.Value
+			if math.IsInf(le, 1) {
+				haveInf, infCount = true, s.Value
+			}
+		case f.Name + "_count":
+			haveCount, count = true, s.Value
+		}
+	}
+	if !haveInf {
+		return fmt.Errorf("missing +Inf bucket")
+	}
+	if !haveCount {
+		return fmt.Errorf("missing _count sample")
+	}
+	if infCount != count {
+		return fmt.Errorf("+Inf bucket %v != _count %v", infCount, count)
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Default timeline bounds: a trace stays loadable in the Perfetto UI.
+const (
+	defaultSampleEvery = 1024    // CPU cycles between counter samples
+	defaultMaxEvents   = 200_000 // hard cap; excess events are counted, not stored
+)
+
+// Timeline accumulates cycle-domain events from one simulation run and
+// serializes them as Chrome/Perfetto trace-event JSON (the `traceEvents`
+// array format). Timestamps are simulated CPU cycles converted to
+// microseconds with the configured core clock — the trace of a run is a
+// pure function of its Options, never of the host. Not safe for
+// concurrent use: the simulator is single-threaded.
+type Timeline struct {
+	clockMHz    float64
+	sampleEvery int64
+	maxEvents   int
+
+	events     []traceEvent
+	dropped    int
+	lastSample map[string]counterSample
+}
+
+type counterSample struct {
+	cycle int64
+	value float64
+	ever  bool
+}
+
+// traceEvent is one entry of the trace-event JSON array.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// NewTimeline builds a timeline for a core clock of clockMHz. sampleEvery
+// is the minimum CPU-cycle spacing between two samples of one counter
+// track (0 means the default, 1024); maxEvents caps stored events (0
+// means the default, 200000) — events beyond the cap are dropped and
+// counted in the trace's metadata.
+func NewTimeline(clockMHz int, sampleEvery int64, maxEvents int) *Timeline {
+	if clockMHz <= 0 {
+		clockMHz = 1
+	}
+	if sampleEvery <= 0 {
+		sampleEvery = defaultSampleEvery
+	}
+	if maxEvents <= 0 {
+		maxEvents = defaultMaxEvents
+	}
+	return &Timeline{
+		clockMHz:    float64(clockMHz),
+		sampleEvery: sampleEvery,
+		maxEvents:   maxEvents,
+		lastSample:  make(map[string]counterSample),
+	}
+}
+
+// us converts a CPU-cycle timestamp to trace microseconds.
+func (t *Timeline) us(cycle int64) float64 { return float64(cycle) / t.clockMHz }
+
+func (t *Timeline) add(e traceEvent) {
+	if len(t.events) >= t.maxEvents {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+// Instant records a point event (rendered as an arrow in Perfetto) on the
+// track tid.
+func (t *Timeline) Instant(cat, name string, cycle int64, tid int) {
+	t.add(traceEvent{Name: name, Cat: cat, Ph: "i", Ts: t.us(cycle), Pid: 1, Tid: tid, S: "t"})
+}
+
+// Span records a complete [start, end) duration event on the track tid.
+func (t *Timeline) Span(cat, name string, start, end int64, tid int) {
+	if end < start {
+		end = start
+	}
+	t.add(traceEvent{Name: name, Cat: cat, Ph: "X", Ts: t.us(start), Dur: t.us(end) - t.us(start), Pid: 1, Tid: tid})
+}
+
+// Counter records one sample of the named counter track, rate-limited to
+// the timeline's sampling granularity: a sample closer than sampleEvery
+// cycles to the track's previous one is dropped unless it is the track's
+// first. Equal consecutive values are also elided — Perfetto draws
+// counters as step functions, so repeats carry no information.
+func (t *Timeline) Counter(cat, track string, cycle int64, value float64) {
+	last, ok := t.lastSample[track]
+	if ok && last.ever {
+		if cycle-last.cycle < t.sampleEvery || value == last.value {
+			return
+		}
+	}
+	t.lastSample[track] = counterSample{cycle: cycle, value: value, ever: true}
+	t.add(traceEvent{Name: track, Cat: cat, Ph: "C", Ts: t.us(cycle), Pid: 1, Tid: 0,
+		Args: map[string]any{"value": value}})
+}
+
+// Dropped reports how many events the cap discarded.
+func (t *Timeline) Dropped() int { return t.dropped }
+
+// Events reports how many events are stored.
+func (t *Timeline) Events() int { return len(t.events) }
+
+// traceDoc is the serialized JSON object.
+type traceDoc struct {
+	TraceEvents     []traceEvent      `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData"`
+}
+
+// WriteTrace serializes the timeline as Chrome trace-event JSON, sorted
+// by timestamp (stable, so same-cycle events keep emission order).
+func (t *Timeline) WriteTrace(w io.Writer) error {
+	events := append([]traceEvent(nil), t.events...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Ts < events[j].Ts })
+	version, revision := BuildFields()
+	doc := traceDoc{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]string{
+			"clock_mhz":      fmt.Sprintf("%g", t.clockMHz),
+			"dropped_events": fmt.Sprintf("%d", t.dropped),
+			"generator":      "secddr-sim " + version + " (" + revision + ")",
+		},
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

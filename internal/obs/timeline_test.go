@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestTimelineTraceShape(t *testing.T) {
+	tl := NewTimeline(3200, 100, 0)
+	tl.Instant("run", "warmup-done", 1000, 0)
+	tl.Span("dram", "refresh ch0", 2000, 2560, 100)
+	tl.Span("dram", "refresh ch0", 1500, 1500, 100) // zero-length span
+	for c := int64(0); c < 1000; c += 10 {
+		tl.Counter("cpu", "mshr-occupancy", c, float64(c%7))
+	}
+
+	var buf bytes.Buffer
+	if err := tl.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		OtherData       map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no events")
+	}
+	last := -1.0
+	cats := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Ts < last {
+			t.Fatalf("timestamps not monotone: %v after %v", e.Ts, last)
+		}
+		last = e.Ts
+		cats[e.Cat] = true
+		switch e.Ph {
+		case "i", "X", "C":
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+		if e.Ph == "C" && e.Args["value"] == nil {
+			t.Error("counter event without value arg")
+		}
+	}
+	for _, want := range []string{"run", "dram", "cpu"} {
+		if !cats[want] {
+			t.Errorf("category %q missing from trace", want)
+		}
+	}
+	if doc.OtherData["dropped_events"] != "0" {
+		t.Errorf("dropped_events = %q, want 0", doc.OtherData["dropped_events"])
+	}
+}
+
+func TestTimelineCounterSampling(t *testing.T) {
+	tl := NewTimeline(1000, 100, 0)
+	tl.Counter("c", "x", 0, 1)  // first sample always kept
+	tl.Counter("c", "x", 50, 2) // too close: dropped
+	tl.Counter("c", "x", 200, 2)
+	tl.Counter("c", "x", 400, 2) // unchanged value: dropped
+	tl.Counter("c", "x", 600, 3)
+	if got := tl.Events(); got != 3 {
+		t.Errorf("stored %d counter samples, want 3", got)
+	}
+}
+
+func TestTimelineEventCap(t *testing.T) {
+	tl := NewTimeline(1000, 1, 10)
+	for i := int64(0); i < 50; i++ {
+		tl.Instant("x", "e", i, 0)
+	}
+	if tl.Events() != 10 {
+		t.Errorf("stored %d events, want cap 10", tl.Events())
+	}
+	if tl.Dropped() != 40 {
+		t.Errorf("dropped %d, want 40", tl.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := tl.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	od := doc["otherData"].(map[string]any)
+	if od["dropped_events"] != "40" {
+		t.Errorf("dropped_events metadata = %v, want \"40\"", od["dropped_events"])
+	}
+}

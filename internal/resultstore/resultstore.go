@@ -104,6 +104,12 @@ type Store struct {
 	compacting  bool
 	compactDone chan struct{} // non-nil while compacting; closed at end
 	closed      bool
+
+	// lastWriteErr is the sticky outcome of the most recent append: set on
+	// a failed Record, cleared by the next successful one. Health serves it
+	// to readiness probes so a server whose disk went away reports degraded
+	// instead of silently failing every sweep.
+	lastWriteErr error
 }
 
 // segInfo is this store's view of one segment it does not own.
@@ -223,7 +229,8 @@ func (s *Store) Record(digest string, res sim.Result) error {
 		return fmt.Errorf("resultstore: store is closed")
 	}
 	if _, err := s.seg.Write(line); err != nil {
-		return fmt.Errorf("resultstore: appending to %s: %w", s.segName, err)
+		s.lastWriteErr = fmt.Errorf("resultstore: appending to %s: %w", s.segName, err)
+		return s.lastWriteErr
 	}
 	n := int64(len(line))
 	s.segBytes += n
@@ -235,11 +242,26 @@ func (s *Store) Record(digest string, res sim.Result) error {
 	}
 	if s.segBytes >= s.opt.RotateBytes {
 		if err := s.rotateLocked(); err != nil {
+			s.lastWriteErr = err
 			return err
 		}
 	}
 	s.maybeCompactLocked()
+	s.lastWriteErr = nil
 	return nil
+}
+
+// Health reports the store's writability for readiness probes: nil while
+// the store is open and its most recent append succeeded, otherwise the
+// sticky error from the failed write (or the closed state). A store that
+// has never recorded anything is healthy.
+func (s *Store) Health() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("resultstore: store is closed")
+	}
+	return s.lastWriteErr
 }
 
 // rotateLocked seals the own segment (releasing its flock, so compaction

@@ -311,3 +311,52 @@ func TestMigrateCheckpoint(t *testing.T) {
 		t.Error("version-9 checkpoint migrated")
 	}
 }
+
+// TestHealth: the readiness probe is sticky on write failures and clears
+// on the next successful append.
+func TestHealth(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if err := s.Health(); err != nil {
+		t.Fatalf("fresh store unhealthy: %v", err)
+	}
+	if err := s.Record(digest(0), fakeResult(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Health(); err != nil {
+		t.Fatalf("healthy store reports %v after a good append", err)
+	}
+
+	// Sabotage the active segment so the next append fails.
+	s.mu.Lock()
+	s.seg.Close()
+	s.mu.Unlock()
+	if err := s.Record(digest(1), fakeResult(1)); err == nil {
+		t.Fatal("append to a closed segment succeeded")
+	}
+	if err := s.Health(); err == nil {
+		t.Fatal("Health is nil after a failed append")
+	}
+
+	// Reopening the segment restores writability; the next append clears
+	// the sticky error.
+	s.mu.Lock()
+	err := s.openSegment()
+	s.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Record(digest(2), fakeResult(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Health(); err != nil {
+		t.Fatalf("Health still %v after recovery", err)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Health(); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("closed store Health = %v", err)
+	}
+}

@@ -32,6 +32,9 @@ func (s *Source) Clone() *Source {
 	for i, g := range s.gens {
 		n.gens[i] = g.Clone()
 	}
+	// Instrumentation is per-run, never shared: a forked simulation
+	// registers its own hook (or none).
+	n.phaseHook = nil
 	return n
 }
 

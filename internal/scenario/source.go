@@ -20,6 +20,13 @@ type Source struct {
 	cur     int    // active phase index
 	phaseIn uint64 // instructions emitted since entering the phase
 	rng     rng    // Markov draws only
+
+	// phaseHook, when set, observes phase transitions: it is called with
+	// the outgoing and incoming phase index whenever cur changes. It is
+	// per-run instrumentation, not stream state — it never influences the
+	// op sequence and is dropped by Clone (forked runs re-register their
+	// own).
+	phaseHook func(old, new int)
 }
 
 var _ cpu.OpSource = (*Source)(nil)
@@ -69,7 +76,7 @@ func (s *Source) Next() (cpu.Op, bool) {
 	if s.script.Markov.Enabled() {
 		for s.phaseIn >= s.script.Markov.Interval {
 			s.phaseIn -= s.script.Markov.Interval
-			s.cur = s.drawNext(s.cur)
+			s.setPhase(s.drawNext(s.cur))
 		}
 		return op, true
 	}
@@ -85,10 +92,10 @@ func (s *Source) Next() (cpu.Op, bool) {
 		switch {
 		case s.cur+1 < len(s.script.Phases):
 			s.phaseIn -= budget
-			s.cur++
+			s.setPhase(s.cur + 1)
 		case s.script.Loop:
 			s.phaseIn -= budget
-			s.cur = 0
+			s.setPhase(0)
 		default:
 			// Parked in a bounded final phase of a non-looping script:
 			// reset the counter so it stays bounded over an endless run.
@@ -111,6 +118,24 @@ func (s *Source) drawNext(cur int) int {
 	}
 	return len(row) - 1 // guard against accumulated rounding
 }
+
+// setPhase switches the active phase, notifying the hook on real changes
+// (a Markov self-transition is not a boundary).
+func (s *Source) setPhase(next int) {
+	if next == s.cur {
+		return
+	}
+	old := s.cur
+	s.cur = next
+	if s.phaseHook != nil {
+		s.phaseHook(old, next)
+	}
+}
+
+// SetPhaseHook registers fn to observe phase transitions; nil clears it.
+// The hook fires inside Next, i.e. at the fetch of the first op past a
+// boundary, synchronously with the op stream.
+func (s *Source) SetPhaseHook(fn func(old, new int)) { s.phaseHook = fn }
 
 // Phase returns the active phase index (tests and diagnostics).
 func (s *Source) Phase() int { return s.cur }

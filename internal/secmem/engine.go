@@ -99,6 +99,13 @@ type Engine struct {
 	MetaReads        uint64 // metadata fetches from memory
 	MetaWritebacks   uint64 // dirty metadata evictions
 	ForwardedArrival uint64
+	// CryptoBusyCycles accumulates, per finished read, the memory cycles
+	// between the raw data burst arriving and the decrypted line becoming
+	// usable — the decrypt/verify latency the crypto engine adds on the
+	// read path (zero in unprotected mode). Overlapping reads both count
+	// their full exposure, so this measures crypto-shadow work, not
+	// exclusive engine wall time.
+	CryptoBusyCycles uint64
 }
 
 // NewEngine wires a fresh controller, metadata cache, and tree for cfg.
@@ -343,6 +350,9 @@ func (e *Engine) maybeFinish(t *txn, now int64) {
 	}
 	if ready < now {
 		ready = now
+	}
+	if ready > t.dataT {
+		e.CryptoBusyCycles += uint64(ready - t.dataT)
 	}
 	heap.Push(&e.ready, ReadDone{Token: t.token, ReadyMem: ready})
 }

@@ -36,6 +36,9 @@ type LocalExecutor struct {
 	// Running, when non-nil, is called with +1/-1 around each simulation
 	// (the server's secddr_sims_running gauge).
 	Running func(delta int)
+	// Observe, when non-nil, receives each simulation's wall-clock
+	// duration (the server's per-job sim-wall histogram).
+	Observe func(d time.Duration)
 }
 
 // Attach starts the pool. Each goroutine pops, simulates, completes; on
@@ -55,7 +58,11 @@ func (e *LocalExecutor) Attach(ctx context.Context, q *Queue) {
 				if e.Running != nil {
 					e.Running(+1)
 				}
+				start := time.Now()
 				res, err := run(j.Opt)
+				if e.Observe != nil {
+					e.Observe(time.Since(start))
+				}
 				if e.Running != nil {
 					e.Running(-1)
 				}

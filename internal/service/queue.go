@@ -57,6 +57,12 @@ type QueuedJob struct {
 	ttl      time.Duration
 	requeues int
 
+	// enqueuedAt is when the job last became pending (Enqueue or requeue);
+	// leasedAt is when the current lease was taken. The deltas feed the
+	// queue-wait and lease-duration histograms.
+	enqueuedAt time.Time
+	leasedAt   time.Time
+
 	// finish resolves the job's flight exactly once: record the result,
 	// publish it to every waiting sweep. The queue guarantees single
 	// invocation (jobs leave the table before finish runs), which is what
@@ -81,6 +87,14 @@ type Queue struct {
 
 	requeued int64 // leases reclaimed from silent workers (Reap)
 	released int64 // leases given back cooperatively (Release)
+
+	// observeWait/observeLease, when non-nil, receive each job's pending
+	// time (at lease) and lease-to-completion time (at Complete). Set once
+	// before the queue is shared (NewServer wires them to the metrics
+	// histograms); both are called with q.mu held, so they must not call
+	// back into the queue.
+	observeWait  func(time.Duration)
+	observeLease func(time.Duration)
 }
 
 // newQueue builds a queue over a store-lookup function (the late-hit
@@ -111,7 +125,7 @@ func (q *Queue) Enqueue(digest, key string, opt sim.Options, finish func(sim.Res
 	if _, dup := q.jobs[digest]; dup {
 		return fmt.Errorf("service: digest %s already queued", digest)
 	}
-	j := &QueuedJob{Digest: digest, Key: key, Opt: opt, state: statePending, finish: finish}
+	j := &QueuedJob{Digest: digest, Key: key, Opt: opt, state: statePending, finish: finish, enqueuedAt: q.now()}
 	q.jobs[digest] = j
 	q.pending = append(q.pending, j)
 	q.wakeLocked()
@@ -138,10 +152,14 @@ func (q *Queue) takeLocked(worker string, max int, ttl time.Duration) []*QueuedJ
 		j.state = stateLeased
 		j.worker = worker
 		j.ttl = ttl
+		j.leasedAt = q.now()
 		if worker == localWorkerID {
 			j.expires = time.Time{}
 		} else {
-			j.expires = q.now().Add(ttl)
+			j.expires = j.leasedAt.Add(ttl)
+		}
+		if q.observeWait != nil {
+			q.observeWait(j.leasedAt.Sub(j.enqueuedAt))
 		}
 		out = append(out, j)
 	}
@@ -213,6 +231,9 @@ func (q *Queue) Complete(digest, worker string, res sim.Result, err error) bool 
 		return false
 	}
 	delete(q.jobs, digest)
+	if q.observeLease != nil && !j.leasedAt.IsZero() {
+		q.observeLease(q.now().Sub(j.leasedAt))
+	}
 	q.mu.Unlock()
 	via := viaRan
 	if err != nil {
@@ -245,6 +266,7 @@ func (q *Queue) requeueLocked(j *QueuedJob) {
 	j.state = statePending
 	j.worker = ""
 	j.expires = time.Time{}
+	j.enqueuedAt = q.now() // queue wait restarts; the lost lease is not wait
 	q.pending = append([]*QueuedJob{j}, q.pending...)
 	q.wakeLocked()
 }

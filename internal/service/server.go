@@ -4,14 +4,16 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
-	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"secddr/internal/harness"
+	"secddr/internal/obs"
 	"secddr/internal/resultstore"
 	"secddr/internal/sim"
 )
@@ -28,6 +30,11 @@ type ServerOptions struct {
 	// BaseContext, when non-nil, bounds the lifetime of background sweep
 	// execution: once it is cancelled no new simulation starts.
 	BaseContext context.Context
+	// Log, when non-nil, receives structured progress events — sweep
+	// lifecycle, job failures, remote uploads — each carrying its sweep id
+	// and/or job digest as attributes so one job's history greps out of
+	// interleaved server and worker logs. Nil discards them.
+	Log *slog.Logger
 }
 
 // Server runs sweep campaigns behind an HTTP API. All sweeps share one
@@ -42,6 +49,8 @@ type Server struct {
 	fleet        *fleetExecutor
 	localWorkers int                // 0 in fleet-only mode
 	stopExec     context.CancelFunc // stops the attached executors
+	metrics      *serverMetrics     // latency histograms served by /metrics
+	log          *slog.Logger       // structured progress; a discard logger when unset
 
 	// runSim is the simulation entry point; tests substitute a counting
 	// or blocking stub.
@@ -88,22 +97,31 @@ func NewServer(store harness.Store, opt ServerOptions) *Server {
 	// so a library user without a BaseContext still gets their goroutines
 	// (pool + reaper) back by calling Shutdown.
 	execCtx, stopExec := context.WithCancel(base)
+	logger := opt.Log
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &Server{
 		store:        store,
 		queue:        newQueue(store.Lookup),
 		fleet:        newFleetExecutor(),
 		localWorkers: workers,
 		stopExec:     stopExec,
+		metrics:      newServerMetrics(),
+		log:          logger,
 		runSim:       sim.Run,
 		sweeps:       make(map[string]*sweep),
 		inflight:     make(map[string]*flight),
 	}
+	s.queue.observeWait = s.metrics.observeQueueWait
+	s.queue.observeLease = s.metrics.observeLeaseDur
 	s.fleet.Attach(execCtx, s.queue)
 	if workers > 0 {
 		local := &LocalExecutor{
 			Workers: workers,
 			Sim:     func(o sim.Options) (sim.Result, error) { return s.runSim(o) },
 			Running: s.trackRunning,
+			Observe: s.metrics.observeSimWall,
 		}
 		local.Attach(execCtx, s.queue)
 	}
@@ -148,8 +166,9 @@ const (
 
 // sweep is one submitted campaign and its accumulating results.
 type sweep struct {
-	id    string
-	total int
+	id      string
+	total   int
+	started time.Time
 
 	mu      sync.Mutex
 	results []harness.Outcome // completion order; streamed as NDJSON
@@ -159,14 +178,20 @@ type sweep struct {
 	changed chan struct{} // closed and replaced on every mutation
 }
 
-// SweepStatus is the GET /v1/sweeps/{id} document.
+// SweepStatus is the GET /v1/sweeps/{id} document. ElapsedMS counts from
+// submission; EtaMS is the linear-rate projection of the time remaining,
+// present only while the sweep is running and at least one point has
+// finished (cached points complete instantly, so early estimates skew
+// optimistic and converge as executed points land).
 type SweepStatus struct {
-	ID    string        `json:"id"`
-	State string        `json:"state"` // running | done | failed
-	Total int           `json:"total"`
-	Done  int           `json:"done"`
-	Stats harness.Stats `json:"stats"`
-	Error string        `json:"error,omitempty"`
+	ID        string        `json:"id"`
+	State     string        `json:"state"` // running | done | failed
+	Total     int           `json:"total"`
+	Done      int           `json:"done"`
+	Stats     harness.Stats `json:"stats"`
+	ElapsedMS int64         `json:"elapsed_ms"`
+	EtaMS     int64         `json:"eta_ms,omitempty"`
+	Error     string        `json:"error,omitempty"`
 }
 
 // SubmitResponse is the POST /v1/sweeps document.
@@ -186,14 +211,19 @@ func (sw *sweep) notifyLocked() {
 func (sw *sweep) status() SweepStatus {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
-	return SweepStatus{
-		ID:    sw.id,
-		State: string(sw.state),
-		Total: sw.total,
-		Done:  len(sw.results),
-		Stats: sw.stats,
-		Error: sw.errMsg,
+	st := SweepStatus{
+		ID:        sw.id,
+		State:     string(sw.state),
+		Total:     sw.total,
+		Done:      len(sw.results),
+		Stats:     sw.stats,
+		ElapsedMS: time.Since(sw.started).Milliseconds(),
+		Error:     sw.errMsg,
 	}
+	if sw.state == stateRunning && st.Done > 0 && st.Done < st.Total {
+		st.EtaMS = st.ElapsedMS * int64(st.Total-st.Done) / int64(st.Done)
+	}
+	return st
 }
 
 // Submit validates a spec, registers the sweep, and starts executing it
@@ -213,6 +243,7 @@ func (s *Server) Submit(spec Spec) (*sweep, error) {
 	sw := &sweep{
 		id:      fmt.Sprintf("sweep-%06d", s.nextID),
 		total:   len(jobs),
+		started: time.Now(),
 		state:   stateRunning,
 		changed: make(chan struct{}),
 	}
@@ -222,6 +253,7 @@ func (s *Server) Submit(spec Spec) (*sweep, error) {
 	s.running.Add(1)
 	s.mu.Unlock()
 
+	s.log.Info("sweep submitted", "sweep", sw.id, "jobs", len(jobs))
 	go func() {
 		defer s.running.Done()
 		s.runSweep(sw, jobs)
@@ -271,6 +303,7 @@ func (s *Server) runSweep(sw *sweep, jobs []harness.Job) {
 			defer wg.Done()
 			res, how, err := s.runDigest(d, g.jobs[0].Key, g.opt)
 			if err != nil {
+				s.log.Error("job failed", "sweep", sw.id, "digest", d, "key", g.jobs[0].Key, "err", err)
 				sw.mu.Lock()
 				if sw.errMsg == "" {
 					sw.errMsg = fmt.Sprintf("%s: %v", g.jobs[0].Key, err)
@@ -310,8 +343,12 @@ func (s *Server) runSweep(sw *sweep, jobs []harness.Job) {
 	} else {
 		sw.state = stateDone
 	}
+	state, stats := sw.state, sw.stats
 	sw.notifyLocked()
 	sw.mu.Unlock()
+	s.log.Info("sweep finished", "sweep", sw.id, "state", string(state),
+		"executed", stats.Executed, "cached", stats.Cached, "deduped", stats.Deduped,
+		"elapsed", time.Since(sw.started).Round(time.Millisecond))
 }
 
 // completeGroup appends one outcome per job of a finished digest.
@@ -378,7 +415,9 @@ func (s *Server) runDigest(d, key string, opt sim.Options) (sim.Result, string, 
 			// Freshly executed (locally or uploaded by a worker): persist
 			// before publishing, so a result a sweep has seen is never
 			// lost to a crash.
+			start := time.Now()
 			err = s.store.Record(d, res)
+			s.metrics.observeStoreFlush(time.Since(start))
 		}
 		f.res, f.err, f.via = res, err, via
 		s.mu.Lock()
@@ -403,8 +442,8 @@ func (s *Server) runDigest(d, key string, opt sim.Options) (sim.Result, string, 
 //	POST /v1/jobs/{digest}/result  worker: upload a result or error (ack)
 //	POST /v1/jobs/{digest}/release worker: return an unrun lease
 //	POST /v1/workers/heartbeat     worker: extend held leases
-//	GET  /healthz                  liveness
-//	GET  /metrics                  Prometheus-style counters
+//	GET  /healthz                  JSON readiness (store writability, queue depth)
+//	GET  /metrics                  Prometheus text exposition
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
@@ -415,9 +454,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs/{digest}/result", s.handleJobResult)
 	mux.HandleFunc("POST /v1/jobs/{digest}/release", s.handleJobRelease)
 	mux.HandleFunc("POST /v1/workers/heartbeat", s.handleHeartbeat)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Write([]byte("ok\n"))
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -496,7 +533,15 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "result upload carries neither result nor error")
 		return
 	}
-	writeJSON(w, AckResponse{Accepted: s.fleet.complete(up.WorkerID, digest, res, err)})
+	accepted := s.fleet.complete(up.WorkerID, digest, res, err)
+	if accepted && up.DurationMS > 0 {
+		// A straggler's duration is as stale as its result: fold in only
+		// accepted uploads so the histogram counts each job at most once.
+		s.metrics.observeSimWall(time.Duration(up.DurationMS) * time.Millisecond)
+	}
+	s.log.Debug("remote result", "digest", digest, "worker", up.WorkerID,
+		"accepted", accepted, "failed", up.Error != "")
+	writeJSON(w, AckResponse{Accepted: accepted})
 }
 
 // handleJobRelease returns an unrun lease to the queue front.
@@ -636,49 +681,87 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}{digest, res})
 }
 
-// handleMetrics serves Prometheus-style plain-text counters: scheduling
-// behaviour (simulations run, jobs deduped, jobs served from cache,
-// in-flight gauge), fleet state (attached workers, queue depth, leases
-// handed out / reclaimed / completed remotely), plus result-store size
-// when the backend reports it.
+// HealthStatus is the GET /healthz document: a readiness probe, not just
+// liveness. Status is "ok" while the result store is writable; a store
+// whose last append failed (disk full, directory gone) degrades the
+// answer to 503 so load balancers stop routing sweeps at a server that
+// would accept and then lose them. QueueDepth rides along as the cheapest
+// load signal.
+type HealthStatus struct {
+	Status     string `json:"status"` // ok | degraded
+	Store      string `json:"store"`  // ok | the sticky write error
+	QueueDepth int    `json:"queue_depth"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	hs := HealthStatus{Status: "ok", Store: "ok", QueueDepth: s.queue.stats().pending}
+	if h, ok := s.store.(interface{ Health() error }); ok {
+		if err := h.Health(); err != nil {
+			hs.Status, hs.Store = "degraded", err.Error()
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if hs.Status != "ok" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(hs)
+}
+
+// handleMetrics serves valid Prometheus text exposition (version 0.0.4):
+// scheduling counters (simulations run, jobs deduped, jobs served from
+// cache), fleet state (attached workers, queue depth, leases handed out /
+// reclaimed / completed remotely), result-store size when the backend
+// reports it, build identification, and the server's latency histograms.
+// Single-sample families keep the bare `name value` line the smoke
+// scripts grep for; HELP/TYPE headers and histogram families are what a
+// real scraper consumes.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	qs := s.queue.stats()
 	fs := s.fleet.stats()
 	s.mu.Lock()
-	lines := map[string]int64{
-		"secddr_sweeps_total":           s.sweepsTotal,
-		"secddr_sweeps_active":          int64(s.countActiveLocked()),
-		"secddr_sims_executed_total":    s.simsExecuted,
-		"secddr_jobs_cached_total":      s.jobsCached,
-		"secddr_jobs_deduped_total":     s.jobsDeduped,
-		"secddr_sims_running":           int64(s.simsRunning),
-		"secddr_digests_inflight":       int64(len(s.inflight)),
-		"secddr_pool_capacity":          int64(s.localWorkers),
-		"secddr_queue_depth":            int64(qs.pending),
-		"secddr_jobs_leased":            int64(qs.leased),
-		"secddr_jobs_requeued_total":    qs.requeued,
-		"secddr_jobs_released_total":    qs.released,
-		"secddr_jobs_leased_total":      fs.leasedTotal,
-		"secddr_jobs_remote_done_total": fs.remoteComplete,
-		"secddr_fleet_workers":          int64(fs.attached),
-	}
+	sweepsTotal := s.sweepsTotal
+	sweepsActive := s.countActiveLocked()
+	simsExecuted := s.simsExecuted
+	jobsCached := s.jobsCached
+	jobsDeduped := s.jobsDeduped
+	simsRunning := s.simsRunning
+	inflight := len(s.inflight)
 	s.mu.Unlock()
+
+	var e obs.Exposition
+	version, revision := obs.BuildFields()
+	e.InfoGauge("secddr_build_info", "Build identification of the serving binary.",
+		obs.Label{Name: "revision", Value: revision}, obs.Label{Name: "version", Value: version})
+	e.Counter("secddr_sims_executed_total", "Simulations actually run (local pool or remote workers).", simsExecuted)
+	e.Counter("secddr_jobs_cached_total", "Jobs answered straight from the result store.", jobsCached)
+	e.Counter("secddr_jobs_deduped_total", "Jobs that joined an in-flight or in-batch digest.", jobsDeduped)
+	e.Counter("secddr_sweeps_total", "Sweeps ever submitted.", sweepsTotal)
+	e.Gauge("secddr_sweeps_active", "Sweeps currently running.", float64(sweepsActive))
+	e.Gauge("secddr_sims_running", "Local simulations executing right now.", float64(simsRunning))
+	e.Gauge("secddr_digests_inflight", "Distinct digests with an open flight.", float64(inflight))
+	e.Gauge("secddr_pool_capacity", "Size of the in-process execution pool (0 in fleet-only mode).", float64(s.localWorkers))
+	e.Gauge("secddr_queue_depth", "Jobs queued and not yet leased.", float64(qs.pending))
+	e.Gauge("secddr_jobs_leased", "Jobs currently leased to remote workers.", float64(qs.leased))
+	e.Counter("secddr_jobs_requeued_total", "Leases reclaimed from silent workers.", qs.requeued)
+	e.Counter("secddr_jobs_released_total", "Leases returned cooperatively by workers.", qs.released)
+	e.Counter("secddr_jobs_leased_total", "Jobs ever handed to remote workers.", fs.leasedTotal)
+	e.Counter("secddr_jobs_remote_done_total", "Jobs finished by a remote result upload.", fs.remoteComplete)
+	e.Gauge("secddr_fleet_workers", "Remote workers seen within the attach window.", float64(fs.attached))
 	if st, ok := s.store.(*resultstore.Store); ok {
 		stats := st.Stats()
-		lines["secddr_store_entries"] = int64(stats.Entries)
-		lines["secddr_store_segments"] = int64(stats.Segments)
-		lines["secddr_store_disk_bytes"] = stats.DiskBytes
-		lines["secddr_store_garbage_bytes"] = stats.GarbageBytes
+		e.Gauge("secddr_store_entries", "Distinct results in the store index.", float64(stats.Entries))
+		e.Gauge("secddr_store_segments", "Store segments on disk.", float64(stats.Segments))
+		e.Gauge("secddr_store_disk_bytes", "Total store bytes on disk.", float64(stats.DiskBytes))
+		e.Gauge("secddr_store_garbage_bytes", "Store bytes owed to duplicate records.", float64(stats.GarbageBytes))
 	}
-	names := make([]string, 0, len(lines))
-	for n := range lines {
-		names = append(names, n)
-	}
-	sort.Strings(names)
+	queueWait, leaseDur, simWall, storeFlush := s.metrics.snapshot()
+	e.Histogram("secddr_queue_wait_us", "Microseconds jobs spent pending before being leased.", &queueWait)
+	e.Histogram("secddr_lease_duration_us", "Microseconds from lease to completion.", &leaseDur)
+	e.Histogram("secddr_job_sim_wall_us", "Wall-clock microseconds per simulation (local pool, plus worker-reported uploads).", &simWall)
+	e.Histogram("secddr_store_flush_us", "Microseconds persisting one fresh result to the store.", &storeFlush)
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	for _, n := range names {
-		fmt.Fprintf(w, "%s %d\n", n, lines[n])
-	}
+	io.WriteString(w, e.String())
 }
 
 func (s *Server) countActiveLocked() int {

@@ -3,6 +3,8 @@ package service
 import (
 	"context"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"runtime"
 	"sync"
@@ -35,8 +37,22 @@ type Worker struct {
 	// Sim substitutes the simulation entry point (tests); nil means
 	// sim.Run via the harness.
 	Sim func(sim.Options) (sim.Result, error)
-	// Logf, when non-nil, receives progress lines.
+	// Logf, when non-nil, receives progress lines (the legacy printf hook).
 	Logf func(format string, args ...any)
+	// Log, when non-nil, receives structured progress events — lease
+	// batches, uploads, releases — with worker and job-digest attributes,
+	// so one digest's path greps out of a fleet's interleaved logs and
+	// correlates with the server's events for the same digest.
+	Log *slog.Logger
+}
+
+var discardLog = slog.New(slog.NewTextHandler(io.Discard, nil))
+
+func (w *Worker) slog() *slog.Logger {
+	if w.Log != nil {
+		return w.Log
+	}
+	return discardLog
 }
 
 func (w *Worker) id() string {
@@ -96,6 +112,7 @@ func (w *Worker) Run(ctx context.Context) error {
 				return nil
 			}
 			w.logf("lease failed (retrying in %v): %v", backoff, err)
+			w.slog().Warn("lease failed", "worker", id, "retry_in", backoff, "err", err)
 			select {
 			case <-time.After(backoff):
 			case <-ctx.Done():
@@ -119,6 +136,7 @@ func (w *Worker) Run(ctx context.Context) error {
 // and leftovers (unrun jobs after an abort or cancellation) are released.
 func (w *Worker) runBatch(ctx context.Context, id string, jobs []WireJob, ttl time.Duration) {
 	w.logf("leased %d job(s)", len(jobs))
+	w.slog().Info("leased jobs", "worker", id, "count", len(jobs), "ttl", ttl)
 	settled := make(map[string]bool, len(jobs)) // digest -> acked or released
 	var mu sync.Mutex
 	settle := func(d string) {
@@ -177,9 +195,12 @@ func (w *Worker) runBatch(ctx context.Context, id string, jobs []WireJob, ttl ti
 		accepted, err := w.Client.PostResult(upCtx, digest, up)
 		if err != nil {
 			w.logf("uploading %s failed: %v", digest, err)
+			w.slog().Warn("upload failed", "worker", id, "digest", digest, "err", err)
 			return
 		}
 		settle(digest)
+		w.slog().Debug("uploaded result", "worker", id, "digest", digest,
+			"accepted", accepted, "failed", up.Error != "")
 		if !accepted {
 			w.logf("upload of %s ignored (lease reclaimed)", digest)
 		}
@@ -200,6 +221,7 @@ func (w *Worker) runBatch(ctx context.Context, id string, jobs []WireJob, ttl ti
 	})
 	if err != nil {
 		w.logf("batch aborted: %v", err)
+		w.slog().Warn("batch aborted", "worker", id, "err", err)
 	}
 
 	// Give back whatever never ran so the server re-queues it now.
@@ -207,6 +229,7 @@ func (w *Worker) runBatch(ctx context.Context, id string, jobs []WireJob, ttl ti
 		relCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		if _, err := w.Client.Release(relCtx, digest, id); err != nil {
 			w.logf("releasing %s failed: %v", digest, err)
+			w.slog().Warn("release failed", "worker", id, "digest", digest, "err", err)
 		}
 		cancel()
 		settle(digest)

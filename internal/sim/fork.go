@@ -140,6 +140,16 @@ func (s *system) fork() (*system, error) {
 	n.frozen = append([]bool(nil), s.frozen...)
 	n.finishCycle = append([]int64(nil), s.finishCycle...)
 	n.warmCycle = append([]int64(nil), s.warmCycle...)
+	// Profiler state. The baselines and phase attribution are rebuilt by
+	// armProfiler when the fork resumes, but the clone keeps the fork free
+	// of aliasing in the window between fork and resume (the completeness
+	// test walks that state). The timeline is per-run instrumentation and
+	// is never inherited.
+	n.mshrRejects = append([]uint64(nil), s.mshrRejects...)
+	if s.prof != nil {
+		n.prof = s.prof.Clone()
+	}
+	n.tl = nil
 	return n, nil
 }
 

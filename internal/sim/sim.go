@@ -15,6 +15,7 @@ import (
 	"secddr/internal/cache"
 	"secddr/internal/config"
 	"secddr/internal/cpu"
+	"secddr/internal/obs"
 	"secddr/internal/scenario"
 	"secddr/internal/secmem"
 	"secddr/internal/trace"
@@ -145,6 +146,16 @@ type Result struct {
 	// the +Inf that would make the whole Result unmarshalable (encoding/json
 	// rejects infinities, silently breaking harness checkpoints).
 	IPCClamped bool
+
+	// Profile is the cycle-attribution profiler's measured-region counters
+	// (see profile.go and DESIGN.md "Observability"): per-core stall-reason
+	// cycles, per-channel command/bank-utilization counts, crypto-engine
+	// shadow, and per-phase cycles for scenario runs. Diagnostic and
+	// non-canonical — Result is never hashed, so Profile stays out of
+	// Summary/Digest/WarmupKey — but loop- and fork-invariant: the
+	// event-driven loop, the reference tick loop, and a forked run all
+	// produce the identical map.
+	Profile map[string]uint64 `json:"profile,omitempty"`
 }
 
 // mshrEntry tracks one outstanding LLC line fill.
@@ -211,6 +222,22 @@ type system struct {
 	llcAccess   uint64
 	prefetches  uint64
 	snap        snapshot
+
+	// Cycle-attribution profiler state (profile.go). mshrRejects counts
+	// per-core structural-stall rejections and stays inline — it is
+	// written on the MSHR-full fast path. The rest of the profiler's
+	// state (measured-region baselines, scenario phase attribution, the
+	// timeline's polling cursors) lives behind one pointer, armed at
+	// resume: spelling those fields out inline grows system past its
+	// allocation size class and measurably slows the measured loop
+	// (BenchmarkQuickScaleEventDriven), while behind prof they cost the
+	// hot struct a single word.
+	mshrRejects []uint64
+	prof        *profState
+
+	// tl, when non-nil, records a Perfetto run timeline (RunInstrumented).
+	// Per-run instrumentation: a fork never inherits it.
+	tl *obs.Timeline
 }
 
 // snapshot freezes the measurement-relevant counters at warmup completion
@@ -309,6 +336,7 @@ func (p *corePort) Load(addr uint64, now int64) cpu.LoadResult {
 		return cpu.LoadResult{Accepted: true, Async: true, Token: s.nextToken}
 	}
 	if s.mshrInUse[p.id] >= s.opt.MSHRsPerCore {
+		s.mshrRejects[p.id]++
 		return cpu.LoadResult{} // structural stall
 	}
 	s.trainPrefetcher(line)
@@ -336,6 +364,7 @@ func (p *corePort) Store(addr uint64, now int64) bool {
 		return true
 	}
 	if s.mshrInUse[p.id] >= s.opt.MSHRsPerCore {
+		s.mshrRejects[p.id]++
 		return false
 	}
 	s.trainPrefetcher(line)
@@ -579,6 +608,7 @@ func warmSystem(opt Options, tickLoop bool) (*system, error) {
 	s.cores = make([]*cpu.Core, n)
 	s.coreNextAt = make([]int64, n)
 	s.mshrInUse = make([]int, n)
+	s.mshrRejects = make([]uint64, n)
 	s.finishCycle = make([]int64, n)
 	s.warmCycle = make([]int64, n)
 	s.frozen = make([]bool, n)
@@ -709,6 +739,7 @@ func (s *system) resume(opt Options) error {
 		s.finishCycle[i] = 0
 	}
 	s.takeSnapshot()
+	s.armProfiler()
 	return nil
 }
 
@@ -776,6 +807,9 @@ func (s *system) runMeasured() error {
 				remaining--
 			}
 		}
+		if s.tl != nil {
+			s.pollTimeline()
+		}
 		s.cpuNow++
 	}
 	if remaining > 0 {
@@ -842,5 +876,6 @@ func (s *system) collect() Result {
 	}
 	r.PrefetchesSent = s.prefetches
 	r.WritebacksToMem = mt.writesEnq - s.snap.writesEnq
+	r.Profile = s.profile()
 	return r
 }

@@ -148,6 +148,14 @@ func (w *aliasWalker) walk(path string, a, b reflect.Value) {
 		if a.String() != b.String() {
 			w.report(path, "value differs (%q vs %q)", a.String(), b.String())
 		}
+	case reflect.Func:
+		// Funcs in the state graph are per-run instrumentation hooks (the
+		// scenario phase hook). A hook may close over its own system, so
+		// the invariant is not equality but non-inheritance: a fork must
+		// start with the hook cleared and register its own at resume.
+		if !b.IsNil() {
+			w.report(path, "fork inherited an instrumentation hook (clones must drop funcs)")
+		}
 	default:
 		// Func, Chan, UnsafePointer, Complex: the simulator state graph has
 		// none; if one appears the copier (and this walker) must learn it.

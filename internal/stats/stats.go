@@ -95,6 +95,27 @@ func (s *Set) Names() []string {
 	return names
 }
 
+// Counters returns a copy of every counter, so exporters (the profiler's
+// Result.Profile section, the /metrics renderer) can walk the set without
+// reaching into its internals.
+func (s *Set) Counters() map[string]uint64 {
+	out := make(map[string]uint64, len(s.counters))
+	for k, v := range s.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// HistNames returns all histogram names in sorted order.
+func (s *Set) HistNames() []string {
+	names := make([]string, 0, len(s.hists))
+	for k := range s.hists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // String renders the set as "name=value" lines, sorted, for debugging.
 func (s *Set) String() string {
 	var b strings.Builder
@@ -149,6 +170,19 @@ func bucketOf(v uint64) int {
 
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// NumBuckets is the number of power-of-two buckets in a Histogram.
+const NumBuckets = 64
+
+// BucketCounts returns the per-bucket (non-cumulative) observation counts.
+// Bucket i covers 2^(i-1) < v <= 2^i; see BucketUpper.
+func (h *Histogram) BucketCounts() [NumBuckets]uint64 { return h.buckets }
+
+// BucketUpper returns bucket i's inclusive upper bound, 2^i.
+func BucketUpper(i int) uint64 { return uint64(1) << uint(i) }
 
 // Mean returns the arithmetic mean, or 0 with no observations.
 func (h *Histogram) Mean() float64 {

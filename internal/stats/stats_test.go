@@ -94,6 +94,90 @@ func TestBucketOf(t *testing.T) {
 	}
 }
 
+func TestHistogramSingleObservation(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(37)
+	if h.Min() != 37 || h.Max() != 37 {
+		t.Errorf("single-observation min/max = %d/%d, want 37/37", h.Min(), h.Max())
+	}
+	if h.Mean() != 37 {
+		t.Errorf("single-observation mean = %v, want 37", h.Mean())
+	}
+	// Every percentile of a one-point distribution lands in 37's bucket
+	// (bucketOf is floor(log2), so 37 is in bucket 5), and Percentile
+	// reports that bucket's 1<<i bound.
+	for _, p := range []float64{1, 50, 99, 100} {
+		if got := h.Percentile(p); got != 32 {
+			t.Errorf("p%.0f = %d, want bucket bound 32", p, got)
+		}
+	}
+}
+
+func TestHistogramMergeDisjointRanges(t *testing.T) {
+	lo, hi := NewHistogram(), NewHistogram()
+	for v := uint64(1); v <= 8; v++ {
+		lo.Observe(v)
+	}
+	for v := uint64(1 << 20); v < 1<<20+8; v++ {
+		hi.Observe(v)
+	}
+	lo.Merge(hi)
+	if lo.Count() != 16 {
+		t.Fatalf("merged count = %d, want 16", lo.Count())
+	}
+	if lo.Min() != 1 || lo.Max() != 1<<20+7 {
+		t.Errorf("merged min/max = %d/%d, want 1/%d", lo.Min(), lo.Max(), 1<<20+7)
+	}
+	// The two bucket ranges must not bleed into each other.
+	b := lo.BucketCounts()
+	for i := 4; i < 20; i++ {
+		if b[i] != 0 {
+			t.Errorf("bucket %d = %d, want 0 (gap between disjoint ranges)", i, b[i])
+		}
+	}
+	if got := lo.Percentile(50); got > 8 {
+		t.Errorf("merged p50 = %d, should stay in the low range", got)
+	}
+	if got := lo.Percentile(99); got < 1<<20 {
+		t.Errorf("merged p99 = %d, should land in the high range", got)
+	}
+
+	// Merging an empty histogram must not clobber min (empty min is the
+	// MaxUint64 sentinel) or anything else.
+	before := *lo
+	lo.Merge(NewHistogram())
+	if *lo != before {
+		t.Error("merging an empty histogram changed state")
+	}
+}
+
+func TestSetMergeScalarOverwrite(t *testing.T) {
+	a, b := NewSet(), NewSet()
+	a.SetScalar("ipc", 1.5)
+	a.SetScalar("only_a", 3)
+	b.SetScalar("ipc", 2.5)
+	a.Merge(b)
+	if got := a.Scalar("ipc"); got != 2.5 {
+		t.Errorf("scalar after merge = %v, want the other set's 2.5 (overwrite, not sum)", got)
+	}
+	if got := a.Scalar("only_a"); got != 3 {
+		t.Errorf("scalar absent from other = %v, want untouched 3", got)
+	}
+}
+
+func TestSetCountersCopy(t *testing.T) {
+	s := NewSet()
+	s.Add("x", 7)
+	m := s.Counters()
+	if m["x"] != 7 {
+		t.Fatalf("Counters()[x] = %d, want 7", m["x"])
+	}
+	m["x"] = 99
+	if s.Counter("x") != 7 {
+		t.Error("mutating the Counters() copy leaked into the set")
+	}
+}
+
 func TestGeoMean(t *testing.T) {
 	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
 		t.Errorf("GeoMean(1,4) = %v, want 2", got)

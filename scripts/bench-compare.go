@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"regexp"
 	"runtime"
@@ -123,6 +124,7 @@ func run() error {
 	}
 
 	var failures []string
+	var ratios []float64
 	for _, name := range sortedNames(base.Benchmarks) {
 		want := base.Benchmarks[name]
 		got, ok := current.Benchmarks[name]
@@ -136,6 +138,7 @@ func run() error {
 			continue
 		}
 		ratio := got.MedianNsPerOp / want.MedianNsPerOp
+		ratios = append(ratios, ratio)
 		verdict := "ok"
 		switch {
 		case ratio > 1+*threshold:
@@ -153,6 +156,14 @@ func run() error {
 			fmt.Printf("%-60s %14.0f ns/op  (new, not gated; re-record the baseline to gate it)\n",
 				name, current.Benchmarks[name].MedianNsPerOp)
 		}
+	}
+	if len(ratios) > 0 {
+		// Per-benchmark rows only show drift against the 15% gate; the
+		// geomean of the ratios is the aggregate trend, so slow fleet-wide
+		// regression that stays under the per-benchmark threshold still
+		// shows up in the job log run after run.
+		fmt.Printf("\ngeomean vs baseline: %+.1f%% across %d gated benchmarks\n",
+			(geomean(ratios)-1)*100, len(ratios))
 	}
 	if len(failures) > 0 {
 		fmt.Println()
@@ -187,6 +198,18 @@ func parseFile(path string, samples map[string][]float64) error {
 		samples[m[1]] = append(samples[m[1]], ns)
 	}
 	return sc.Err()
+}
+
+// geomean is the geometric mean of current/baseline ratios — the one
+// aggregate that weighs a 2x speedup and a 2x slowdown as cancelling,
+// so it tracks overall drift without being dominated by the slowest
+// benchmark.
+func geomean(ratios []float64) float64 {
+	sum := 0.0
+	for _, r := range ratios {
+		sum += math.Log(r)
+	}
+	return math.Exp(sum / float64(len(ratios)))
 }
 
 func median(vals []float64) float64 {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -36,6 +37,19 @@ ok  	secddr/internal/sim	1.2s
 	}
 	if got := samples["BenchmarkStoreFlush/resultstore"]; len(got) != 1 || got[0] != 5200 {
 		t.Fatalf("resultstore samples = %v", got)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	// A 2x speedup and a 2x slowdown must cancel exactly.
+	if g := geomean([]float64{2, 0.5}); math.Abs(g-1) > 1e-12 {
+		t.Fatalf("geomean(2, 0.5) = %v, want 1", g)
+	}
+	if g := geomean([]float64{4}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("geomean(4) = %v, want 4", g)
+	}
+	if g := geomean([]float64{1.1, 1.1, 1.1}); math.Abs(g-1.1) > 1e-12 {
+		t.Fatalf("geomean(1.1 x3) = %v, want 1.1", g)
 	}
 }
 

@@ -70,7 +70,7 @@ echo "== local, remote, and cached outputs are byte-identical"
 # Strip the provenance lines (campaign stats + per-outcome cached flags);
 # the simulation payloads must match byte for byte.
 for f in local remote1 remote2; do
-  grep -vE '"(cached|executed|deduped)":' "$work/$f.json" > "$work/$f.stripped"
+  grep -vE '"(cached|executed|deduped|forked|warmups)":' "$work/$f.json" > "$work/$f.stripped"
 done
 cmp -s "$work/local.stripped" "$work/remote1.stripped" \
   || { echo "FAIL: remote scenario results differ from local results"; exit 1; }

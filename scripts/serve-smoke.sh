@@ -53,7 +53,7 @@ echo "== results are identical across live and cached runs"
 # Strip the provenance lines (campaign stats + per-outcome cached flags);
 # the simulation payloads must match byte for byte.
 for f in run1 run2; do
-  grep -vE '"(cached|executed|deduped)":' "$work/$f.json" > "$work/$f.stripped"
+  grep -vE '"(cached|executed|deduped|forked|warmups)":' "$work/$f.json" > "$work/$f.stripped"
 done
 cmp -s "$work/run1.stripped" "$work/run2.stripped" \
   || { echo "FAIL: cached results differ from live results"; exit 1; }

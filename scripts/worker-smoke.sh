@@ -105,7 +105,7 @@ echo "== fleet results are byte-identical to the local baseline"
 # simulation payloads must match byte for byte regardless of which worker
 # ran each point or how often a job was re-leased.
 for f in local fleet; do
-  grep -vE '"(cached|executed|deduped)":' "$work/$f.json" > "$work/$f.stripped"
+  grep -vE '"(cached|executed|deduped|forked|warmups)":' "$work/$f.json" > "$work/$f.stripped"
 done
 cmp -s "$work/local.stripped" "$work/fleet.stripped" \
   || { echo "FAIL: fleet results differ from the local run"; diff "$work/local.stripped" "$work/fleet.stripped" | head; exit 1; }
