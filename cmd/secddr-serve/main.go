@@ -5,30 +5,41 @@
 // finish. Many clients can query and extend one store concurrently; an
 // identical grid re-submitted later is served without simulating.
 //
+// Sweeps are durable: every accepted submission is logged to a
+// write-ahead log next to the store segments, so a killed or restarted
+// daemon resumes its unfinished sweeps on the next boot — completed
+// points replay from the store, only the remainder re-runs, and clients
+// resume their result streams from a cursor with nothing lost or
+// duplicated.
+//
 // Usage:
 //
 //	secddr-serve                                  # :8080, store in ./secddr-store
 //	secddr-serve -addr 127.0.0.1:0 -store /var/lib/secddr -workers 8
 //	secddr-serve -migrate-checkpoint secddr-sweep.ckpt.json   # import legacy cache
 //
-// Submit work with secddr-sweep -server http://HOST:PORT, or directly:
+// Submit work with secddr-sweep -server http://HOST:PORT, or directly
+// (PUT with a key of your choosing makes the submission idempotent —
+// re-PUT the same body and you attach to the running sweep):
 //
-//	curl -s localhost:8080/v1/sweeps -d '{"modes":["secddr+ctr"],"workloads":["mcf"],"quick":true}'
-//	curl -s localhost:8080/v1/sweeps/sweep-000001/results   # NDJSON stream
+//	curl -s -X PUT localhost:8080/v1/sweeps/nightly-mcf -d '{"modes":["secddr+ctr"],"workloads":["mcf"],"quick":true}'
+//	curl -s localhost:8080/v1/sweeps/sw-<ID>/results            # NDJSON stream
+//	curl -s 'localhost:8080/v1/sweeps/sw-<ID>/results?after=12' # resume from seq 12
 //	curl -s localhost:8080/metrics
 //
-// Execution scales out horizontally: any number of secddr-worker
-// processes may attach (-server URL) and pull leased jobs from the
-// daemon's queue. -workers -1 disables the in-process pool entirely, so
-// the daemon only coordinates the fleet (fleet-only mode); by default
-// the local pool and remote workers drain the same queue side by side.
+// Execution scales out two ways. Horizontally: any number of
+// secddr-worker processes may attach (-server URL) and pull leased jobs
+// from the daemon's queue (-workers -1 makes the daemon fleet-only).
+// For availability: several secddr-serve replicas may share one -store
+// directory — they elect a leader through a leased file in the store,
+// followers transparently proxy the API to it, and when the leader dies
+// a follower takes over, replays the WAL, and resumes every sweep.
 //
 // See README.md for the full quickstart and DESIGN.md for the design.
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -58,9 +69,13 @@ func run() error {
 		storeDir  = flag.String("store", "secddr-store", "result store directory (created if missing)")
 		workers   = flag.Int("workers", 0, "local simulation pool size (0 = GOMAXPROCS, negative = fleet-only: execute nothing locally, serve leases to secddr-worker processes)")
 		migrate   = flag.String("migrate-checkpoint", "", "import a legacy checkpoint-v1 JSON file into the store at startup")
-		addrFile  = flag.String("addr-file", "", "write the server's base URL to this file once listening (for scripts)")
+		addrFile  = flag.String("addr-file", "", "write the server's base URL to this file once ready (for scripts)")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 		logLevel  = flag.String("log-level", "info", "structured log threshold: debug, info, warn, or error")
+		advertise = flag.String("advertise", "", "base URL peers and clients reach this replica at (default http://<listen-addr>); matters when several replicas share a store")
+		leaseTTL  = flag.Duration("lease-ttl", 5*time.Second, "leader lease duration for multi-replica groups (failover takes about this long)")
+		replicaID = flag.String("replica-id", "", "stable replica identity in the leader lease (default host-pid)")
+		maxPerCli = flag.Int("max-jobs-per-client", 0, "per-client quota: max outstanding jobs across a client's running sweeps (0 = unlimited)")
 		version   = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
@@ -89,17 +104,54 @@ func run() error {
 	}
 
 	// SIGINT/SIGTERM stop new simulations; in-flight points finish and
-	// reach the store before exit (the store appends per point).
+	// reach the store before exit (the store appends per point). Sweeps
+	// cut short stay open in the WAL and resume on the next boot.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := service.NewServer(store, service.ServerOptions{Workers: *workers, BaseContext: ctx, Log: logger})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	baseURL := "http://" + ln.Addr().String()
-	fmt.Fprintf(os.Stderr, "secddr-serve: listening on %s (store %s)\n", baseURL, *storeDir)
+	advertiseURL := *advertise
+	if advertiseURL == "" {
+		advertiseURL = baseURL
+	}
+
+	rep := service.NewReplica(store, store.Dir(), service.ReplicaOptions{
+		ID:           *replicaID,
+		AdvertiseURL: advertiseURL,
+		LeaseTTL:     *leaseTTL,
+		Server: service.ServerOptions{
+			Workers:          *workers,
+			Log:              logger,
+			MaxJobsPerClient: *maxPerCli,
+		},
+		Log: logger,
+	})
+	runDone := make(chan struct{})
+	go func() {
+		defer close(runDone)
+		rep.Run(ctx)
+	}()
+
+	// Wait for a role before announcing readiness: either this replica
+	// acquired the lease (standalone servers do so on the first attempt)
+	// or it observed a live leader to proxy to. A bounded wait — if the
+	// directory is contested and unreadable, serve anyway and let
+	// requests answer 503 not_leader.
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline) && ctx.Err() == nil; {
+		if leading, _ := rep.Leading(); leading || rep.LeaderURL() != "" {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	role := "follower"
+	if leading, epoch := rep.Leading(); leading {
+		role = fmt.Sprintf("leader (epoch %d)", epoch)
+	}
+	fmt.Fprintf(os.Stderr, "secddr-serve: listening on %s (store %s, %s)\n", baseURL, *storeDir, role)
 	if *debugAddr != "" {
 		go func() {
 			// The blank net/http/pprof import registered its handlers on
@@ -117,7 +169,7 @@ func run() error {
 		}
 	}
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpSrv := &http.Server{Handler: rep.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 
@@ -127,20 +179,14 @@ func run() error {
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(os.Stderr, "secddr-serve: shutting down (in-flight simulations may take a moment)")
-	// Stop execution first: no more leases go out, unacked remote jobs
-	// fail their sweeps immediately (instead of the shutdown stalling on
-	// workers that may never answer), and local in-flight simulations run
-	// to completion. This also wakes long-polling lease handlers so the
-	// HTTP shutdown below does not wait out their polls.
-	srv.Shutdown()
+	// The cancelled ctx makes rep.Run demote: no more leases go out,
+	// unacked remote jobs fail their sweeps immediately (they stay
+	// resumable in the WAL), local in-flight simulations run to
+	// completion and reach the store, the WAL closes, and the leader
+	// lease is released so a peer replica can take over at once.
+	<-runDone
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		return err
-	}
-	// No handler can submit sweeps anymore; wait for the background ones
-	// so every in-flight simulation's result reaches the store, then let
-	// the deferred Close seal (flush) the store.
-	srv.Drain()
+	httpSrv.Shutdown(shutdownCtx)
 	return nil
 }

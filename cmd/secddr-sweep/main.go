@@ -70,6 +70,9 @@ func run() error {
 		storeDir   = flag.String("store", "", "segment result store directory (preferred backend; overrides -checkpoint)")
 		checkpoint = flag.String("checkpoint", "secddr-sweep.ckpt.json", `legacy JSON result cache (empty string disables caching)`)
 		server     = flag.String("server", "", "submit the sweep to a secddr-serve URL instead of simulating locally")
+		sweepKey   = flag.String("sweep-key", "", "idempotent submission key for -server mode: re-running with the same key and grid attaches to the running sweep instead of starting a new one (default: a key derived from the grid itself)")
+		client     = flag.String("client", "", "client name for -server mode: quota accounting and fair scheduling group (default anonymous)")
+		priority   = flag.Int("priority", 0, "sweep priority for -server mode: higher-priority jobs lease first (negative deprioritizes)")
 		out        = flag.String("out", "", "write results as JSON to this file (- for stdout)")
 		csvOut     = flag.String("csv", "", "write results as CSV to this file (- for stdout)")
 		progress   = flag.Bool("progress", stderrIsTerminal(), "print live campaign progress (done/cached/forked/warmups, ETA) to stderr; defaults on when stderr is a terminal")
@@ -92,6 +95,8 @@ func run() error {
 		Seed:         seed, // always explicit from the flag, 0 included
 		SeedPerJob:   *seedPerJob,
 		Channels:     *channels,
+		Client:       *client,
+		Priority:     *priority,
 	}
 	if *scnFile != "" {
 		defs, err := scenario.LoadManifest(*scnFile)
@@ -112,8 +117,19 @@ func run() error {
 	)
 	if *server != "" {
 		cl := &service.Client{BaseURL: *server}
+		key := *sweepKey
+		if key == "" {
+			// Derived from the spec, so even unnamed submissions are
+			// idempotent: a retried invocation attaches to the running
+			// sweep and resumes its stream rather than duplicating it.
+			var err error
+			key, err = spec.DefaultKey()
+			if err != nil {
+				return err
+			}
+		}
 		var err error
-		outs, stats, err = cl.RunRemote(ctx, spec, nil)
+		outs, stats, err = cl.RunRemoteKeyed(ctx, key, spec, nil)
 		if err != nil {
 			return err
 		}
@@ -143,8 +159,12 @@ func run() error {
 			return err
 		}
 	}
-	fmt.Fprintf(os.Stderr, "secddr-sweep: %d points: %d executed, %d cached, %d deduped\n",
+	summary := fmt.Sprintf("secddr-sweep: %d points: %d executed, %d cached, %d deduped",
 		stats.Total, stats.Executed, stats.Cached, stats.Deduped)
+	if stats.Recovered > 0 {
+		summary += fmt.Sprintf(" (%d recovered from a restarted server)", stats.Recovered)
+	}
+	fmt.Fprintln(os.Stderr, summary)
 
 	if *out == "" && *csvOut == "" {
 		*out = "-" // no sink requested: JSON to stdout

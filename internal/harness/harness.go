@@ -246,6 +246,11 @@ type Stats struct {
 	// Warmups is the number of warmups the scheduler saved.
 	Forked  int `json:"forked"`
 	Warmups int `json:"warmups"`
+	// Recovered counts jobs whose completions were replayed from a sweep
+	// server's WAL at boot instead of executed or cache-checked in this
+	// process; always zero for local campaigns. omitempty keeps it out of
+	// reports that never involved a recovery, so their JSON is unchanged.
+	Recovered int `json:"recovered,omitempty"`
 }
 
 // Index collapses outcomes to a key -> result map.

@@ -118,6 +118,11 @@ type segInfo struct {
 	garbage  int64 // bytes of records whose digest was already indexed
 }
 
+// Dir is the store's directory — shared infrastructure for files that
+// live alongside the segments under the same crash discipline (the
+// campaign service keeps its sweep WAL there).
+func (s *Store) Dir() string { return s.dir }
+
 // StoreStats is a point-in-time size summary (served by /metrics).
 type StoreStats struct {
 	Entries      int   `json:"entries"`

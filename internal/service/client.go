@@ -5,10 +5,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"secddr/internal/harness"
 )
@@ -31,13 +34,16 @@ func (c *Client) url(path string) string {
 	return strings.TrimRight(c.BaseURL, "/") + path
 }
 
-// decodeError surfaces the server's {"error": ...} body on non-2xx.
+// decodeError surfaces the server's apiError body on non-2xx, mapping
+// wire codes back to the typed sentinels — errors.Is(err,
+// ErrQuotaExceeded) etc. work on the client side of the wire.
 func decodeError(resp *http.Response) error {
 	defer resp.Body.Close()
-	var e struct {
-		Error string `json:"error"`
-	}
+	var e apiError
 	if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
+		if terr := codeToError(e.Code, e.Error, e.Leader); terr != nil {
+			return terr
+		}
 		return fmt.Errorf("service: server: %s (HTTP %d)", e.Error, resp.StatusCode)
 	}
 	return fmt.Errorf("service: server returned HTTP %d", resp.StatusCode)
@@ -102,13 +108,21 @@ func (c *Client) Heartbeat(ctx context.Context, workerID string, digests []strin
 	return resp.Held, err
 }
 
-// Submit posts a sweep spec and returns the server's sweep handle.
-func (c *Client) Submit(ctx context.Context, spec Spec) (SubmitResponse, error) {
+// SubmitKeyed registers a sweep under a client-chosen key — the
+// idempotent submission path (PUT /v1/sweeps/{key}). Submitting the same
+// (key, spec) pair again attaches to the existing sweep (Attached=true
+// in the response) instead of starting a duplicate, which is what makes
+// retry-after-anything safe: a client that crashed, timed out, or raced
+// a server restart just submits again and lands on the same sweep ID.
+func (c *Client) SubmitKeyed(ctx context.Context, key string, spec Spec) (SubmitResponse, error) {
+	if err := validateSweepKey(key); err != nil {
+		return SubmitResponse{}, err
+	}
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return SubmitResponse{}, fmt.Errorf("service: encoding spec: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/sweeps"), bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.url("/v1/sweeps/"+key), bytes.NewReader(body))
 	if err != nil {
 		return SubmitResponse{}, err
 	}
@@ -117,7 +131,7 @@ func (c *Client) Submit(ctx context.Context, spec Spec) (SubmitResponse, error) 
 	if err != nil {
 		return SubmitResponse{}, fmt.Errorf("service: submitting sweep: %w", err)
 	}
-	if resp.StatusCode != http.StatusAccepted {
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
 		return SubmitResponse{}, decodeError(resp)
 	}
 	defer resp.Body.Close()
@@ -126,6 +140,18 @@ func (c *Client) Submit(ctx context.Context, spec Spec) (SubmitResponse, error) 
 		return SubmitResponse{}, fmt.Errorf("service: decoding submit response: %w", err)
 	}
 	return sub, nil
+}
+
+// Submit posts a sweep spec under a spec-derived key, so even this
+// "anonymous" path is idempotent: re-submitting an identical spec
+// attaches to the running sweep. Kept for source compatibility; new
+// code should call SubmitKeyed with an explicit key.
+func (c *Client) Submit(ctx context.Context, spec Spec) (SubmitResponse, error) {
+	key, err := spec.DefaultKey()
+	if err != nil {
+		return SubmitResponse{}, err
+	}
+	return c.SubmitKeyed(ctx, key, spec)
 }
 
 // Status fetches a sweep's progress.
@@ -149,20 +175,25 @@ func (c *Client) Status(ctx context.Context, id string) (SweepStatus, error) {
 	return st, nil
 }
 
-// StreamResults consumes the sweep's NDJSON result stream, invoking fn on
-// every outcome as the server completes it. It returns once the server
-// closes the stream (sweep finished) or fn errors.
-func (c *Client) StreamResults(ctx context.Context, id string, fn func(harness.Outcome) error) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/sweeps/"+id+"/results"), nil)
+// streamOnce consumes one results connection from the cursor, invoking fn
+// per line and advancing *cursor past every delivered seq. It returns
+// (ended, err): ended=true means the end sentinel arrived and the stream
+// is complete.
+func (c *Client) streamOnce(ctx context.Context, id string, cursor *int, fn func(StreamItem) error) (bool, error) {
+	url := c.url("/v1/sweeps/" + id + "/results")
+	if *cursor > 0 {
+		url += "?after=" + strconv.Itoa(*cursor)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return err
+		return false, err
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return fmt.Errorf("service: streaming results: %w", err)
+		return false, fmt.Errorf("service: streaming results: %w", err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return decodeError(resp)
+		return false, decodeError(resp)
 	}
 	defer resp.Body.Close()
 	sc := bufio.NewScanner(resp.Body)
@@ -172,68 +203,159 @@ func (c *Client) StreamResults(ctx context.Context, id string, fn func(harness.O
 		if len(line) == 0 {
 			continue
 		}
-		var o harness.Outcome
-		if err := json.Unmarshal(line, &o); err != nil {
-			return fmt.Errorf("service: corrupt result line: %w", err)
+		var item StreamItem
+		if err := json.Unmarshal(line, &item); err != nil {
+			return false, fmt.Errorf("service: corrupt result line: %w", err)
 		}
-		if err := fn(o); err != nil {
-			return err
+		if item.Seq > *cursor {
+			*cursor = item.Seq
+		}
+		if err := fn(item); err != nil {
+			return false, err
+		}
+		if item.End {
+			return true, nil
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("service: result stream: %w", err)
+		return false, fmt.Errorf("service: result stream: %w", err)
 	}
-	return nil
+	// EOF without the end sentinel: the connection died (server restart,
+	// proxy cut, network blip) — resume from the cursor.
+	return false, nil
 }
 
-// RunRemote submits a spec and blocks until the sweep completes, returning
-// outcomes in the deterministic local job order (the same order a local
-// run emits, so -server mode is a drop-in for the file emitters) plus the
-// server-side stats. It is the engine behind secddr-sweep -server.
+// StreamResults consumes the sweep's NDJSON result stream, invoking fn
+// on every line — result items as the server completes them, then the
+// end sentinel (End=true) carrying the terminal state and final stats.
+// It survives connection loss: the client tracks the last delivered
+// sequence number and reconnects with ?after=<cursor>, so across server
+// restarts and replica failovers fn sees every result exactly once and
+// the reassembled set is byte-identical to an uninterrupted stream.
+//
+// It returns once the end sentinel has been delivered, fn errors, the
+// sweep is unknown to the server (ErrUnknownSweep — a recovery-skipped
+// sweep; re-submit the keyed spec and stream the fresh sweep), or ctx
+// ends.
+func (c *Client) StreamResults(ctx context.Context, id string, fn func(StreamItem) error) error {
+	cursor := 0
+	backoff := 250 * time.Millisecond
+	for {
+		ended, err := c.streamOnce(ctx, id, &cursor, fn)
+		if ended {
+			return nil
+		}
+		if err != nil {
+			// fn's own errors and "this sweep does not exist" are final;
+			// transport-level failures retry from the cursor.
+			if errors.Is(err, ErrUnknownSweep) || ctx.Err() != nil {
+				return err
+			}
+			var transient bool
+			switch {
+			case errors.Is(err, ErrNotLeader), errors.Is(err, ErrShuttingDown):
+				transient = true // a (re)starting or demoted server; retry lands on the leader
+			default:
+				var ne interface{ Temporary() bool }
+				transient = errors.As(err, &ne) || strings.Contains(err.Error(), "connect") ||
+					strings.Contains(err.Error(), "EOF") || strings.Contains(err.Error(), "reset")
+			}
+			if !transient {
+				return err
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff < 4*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// RunRemote submits a spec under its spec-derived key and blocks until
+// the sweep completes; see RunRemoteKeyed.
 func (c *Client) RunRemote(ctx context.Context, spec Spec, progress func(done, total int)) ([]harness.Outcome, harness.Stats, error) {
+	key, err := spec.DefaultKey()
+	if err != nil {
+		return nil, harness.Stats{}, err
+	}
+	return c.RunRemoteKeyed(ctx, key, spec, progress)
+}
+
+// RunRemoteKeyed submits a spec under key and blocks until the sweep
+// completes, returning outcomes in the deterministic local job order
+// (the same order a local run emits, so -server mode is a drop-in for
+// the file emitters) plus the server-side stats from the stream's end
+// sentinel. It is the engine behind secddr-sweep -server.
+//
+// The whole call is safe to re-run: submission is idempotent (same key,
+// same sweep), the result stream resumes from a cursor across connection
+// loss, and if a restarted server lost the sweep entirely (no WAL) the
+// keyed re-submit starts it over with every already-stored digest served
+// from cache.
+func (c *Client) RunRemoteKeyed(ctx context.Context, key string, spec Spec, progress func(done, total int)) ([]harness.Outcome, harness.Stats, error) {
 	grid, err := spec.Grid()
 	if err != nil {
 		return nil, harness.Stats{}, err
 	}
 	jobs := grid.Jobs()
 
-	sub, err := c.Submit(ctx, spec)
-	if err != nil {
-		return nil, harness.Stats{}, err
-	}
-	if sub.Total != len(jobs) {
-		return nil, harness.Stats{}, fmt.Errorf("service: server expanded %d jobs, client %d — version skew?", sub.Total, len(jobs))
-	}
-
-	byKey := make(map[string]harness.Outcome, sub.Total)
-	done := 0
-	err = c.StreamResults(ctx, sub.ID, func(o harness.Outcome) error {
-		byKey[o.Key] = o
-		done++
-		if progress != nil {
-			progress(done, sub.Total)
+	byKey := make(map[string]harness.Outcome, len(jobs))
+	var final *streamEnd
+	for attempt := 0; ; attempt++ {
+		sub, err := c.SubmitKeyed(ctx, key, spec)
+		if err != nil {
+			return nil, harness.Stats{}, err
 		}
-		return nil
-	})
-	if err != nil {
+		if sub.Total != len(jobs) {
+			return nil, harness.Stats{}, fmt.Errorf("service: server expanded %d jobs, client %d — version skew?", sub.Total, len(jobs))
+		}
+
+		err = c.StreamResults(ctx, sub.ID, func(item StreamItem) error {
+			if item.End {
+				end := streamEnd{Seq: item.Seq, State: item.State, Error: item.Error}
+				if item.Stats != nil {
+					end.Stats = *item.Stats
+				}
+				final = &end
+				return nil
+			}
+			if _, dup := byKey[item.Key]; !dup {
+				byKey[item.Key] = item.Outcome
+				if progress != nil {
+					progress(len(byKey), sub.Total)
+				}
+			}
+			return nil
+		})
+		if err == nil && final != nil {
+			break
+		}
+		// The only retryable landing spot: the server no longer knows the
+		// sweep (restarted without its WAL record). One keyed re-submit
+		// starts it over; stored digests replay as cache hits.
+		if errors.Is(err, ErrUnknownSweep) && attempt == 0 {
+			continue
+		}
+		if err == nil {
+			err = fmt.Errorf("service: result stream closed without end sentinel")
+		}
 		return nil, harness.Stats{}, err
 	}
 
-	st, err := c.Status(ctx, sub.ID)
-	if err != nil {
-		return nil, harness.Stats{}, err
+	if final.State != string(stateDone) {
+		return nil, final.Stats, fmt.Errorf("service: sweep %s: %s", final.State, final.Error)
 	}
-	if st.State != string(stateDone) {
-		return nil, st.Stats, fmt.Errorf("service: sweep %s %s: %s", sub.ID, st.State, st.Error)
-	}
-
 	outs := make([]harness.Outcome, len(jobs))
 	for i, j := range jobs {
 		o, ok := byKey[j.Key]
 		if !ok {
-			return nil, st.Stats, fmt.Errorf("service: server returned no outcome for %q", j.Key)
+			return nil, final.Stats, fmt.Errorf("service: server returned no outcome for %q", j.Key)
 		}
 		outs[i] = o
 	}
-	return outs, st.Stats, nil
+	return outs, final.Stats, nil
 }

@@ -1,0 +1,113 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Typed service failures. Every error the HTTP API can answer with
+// carries a machine-readable code in its JSON body ({"error", "code",
+// "leader"}), and the Client maps the code back to the matching sentinel
+// — so errors.Is works identically whether the failure happened in-process
+// (library use) or across the wire (secddr-sweep -server).
+var (
+	// ErrShuttingDown is the terminal error queued work receives when the
+	// server stops accepting execution (SIGINT on secddr-serve, or a
+	// replica demoting after losing its leader lease). Sweeps failed this
+	// way keep their WAL entry open and resume on the next boot.
+	ErrShuttingDown = errors.New("service: server shutting down")
+
+	// ErrQuotaExceeded rejects a submission that would push the client's
+	// outstanding (not yet completed) jobs past the server's per-client
+	// quota (ServerOptions.MaxJobsPerClient). HTTP 429.
+	ErrQuotaExceeded = errors.New("service: client quota exceeded")
+
+	// ErrUnknownSweep answers status/stream requests for a sweep ID the
+	// server does not know — never submitted here, or submitted to a
+	// store this server is not serving. HTTP 404. A client holding a
+	// sweep key recovers by re-submitting: the keyed PUT is idempotent.
+	ErrUnknownSweep = errors.New("service: unknown sweep")
+
+	// ErrNotLeader answers API calls on a replica that is not the queue
+	// leader and has no live leader to proxy to. HTTP 503. When the
+	// replica knows the leader, the error is a *NotLeaderError carrying
+	// its URL.
+	ErrNotLeader = errors.New("service: not the leader")
+
+	// ErrLeaseLost is the internal signal that a replica's leader lease
+	// was fenced off (another replica bumped the epoch); the replica
+	// demotes itself.
+	ErrLeaseLost = errors.New("service: leader lease lost")
+)
+
+// NotLeaderError is ErrNotLeader plus a redirect hint: the URL of the
+// replica currently holding the leader lease (empty when unknown).
+// errors.Is(err, ErrNotLeader) matches it.
+type NotLeaderError struct {
+	Leader string
+}
+
+func (e *NotLeaderError) Error() string {
+	if e.Leader == "" {
+		return ErrNotLeader.Error()
+	}
+	return fmt.Sprintf("%v (leader at %s)", ErrNotLeader, e.Leader)
+}
+
+func (e *NotLeaderError) Is(target error) bool { return target == ErrNotLeader }
+
+// Error codes carried in HTTP error bodies (wire.go apiError). Keep in
+// sync with codeToError below.
+const (
+	codeShuttingDown = "shutting_down"
+	codeQuota        = "quota_exceeded"
+	codeUnknownSweep = "unknown_sweep"
+	codeNotLeader    = "not_leader"
+)
+
+// errorCode maps an error to its wire code ("" for untyped errors).
+func errorCode(err error) string {
+	switch {
+	case errors.Is(err, ErrShuttingDown):
+		return codeShuttingDown
+	case errors.Is(err, ErrQuotaExceeded):
+		return codeQuota
+	case errors.Is(err, ErrUnknownSweep):
+		return codeUnknownSweep
+	case errors.Is(err, ErrNotLeader):
+		return codeNotLeader
+	}
+	return ""
+}
+
+// codeToError rebuilds the typed error for a wire code, wrapping the
+// server's message so both the sentinel and the human text survive the
+// round trip. Unknown codes (or none) return nil.
+func codeToError(code, msg, leader string) error {
+	switch code {
+	case codeShuttingDown:
+		return wrapSentinel(ErrShuttingDown, msg)
+	case codeQuota:
+		return wrapSentinel(ErrQuotaExceeded, msg)
+	case codeUnknownSweep:
+		return wrapSentinel(ErrUnknownSweep, msg)
+	case codeNotLeader:
+		if leader != "" {
+			return fmt.Errorf("service: server: %s: %w", msg, &NotLeaderError{Leader: leader})
+		}
+		return wrapSentinel(ErrNotLeader, msg)
+	}
+	return nil
+}
+
+// wrapSentinel attaches msg to its sentinel without stuttering: server
+// messages usually begin with the sentinel's own text (they were built
+// by wrapping it), and repeating it would read "unknown sweep: unknown
+// sweep: ...".
+func wrapSentinel(sentinel error, msg string) error {
+	if rest, ok := strings.CutPrefix(msg, sentinel.Error()); ok {
+		return fmt.Errorf("%w%s", sentinel, rest)
+	}
+	return fmt.Errorf("%w: %s", sentinel, msg)
+}

@@ -376,8 +376,9 @@ func TestWorkerFleetEndToEnd(t *testing.T) {
 		}
 	}
 
-	// Identical re-submission is served from the store: zero executions.
-	outs2, stats2, err := cl.RunRemote(ctx, tinySpec(), nil)
+	// The same grid under a fresh key is served from the store: zero
+	// executions (the same key would instead attach to the done sweep).
+	outs2, stats2, err := cl.RunRemoteKeyed(ctx, "rerun", tinySpec(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

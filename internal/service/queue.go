@@ -1,7 +1,6 @@
 package service
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -9,10 +8,6 @@ import (
 
 	"secddr/internal/sim"
 )
-
-// ErrShuttingDown is the terminal error queued work receives when the
-// server stops accepting execution (SIGINT on secddr-serve).
-var ErrShuttingDown = errors.New("service: server shutting down")
 
 // maxRequeues bounds how often one job may be reclaimed from dead workers
 // before its flight fails: a job that kills every worker it lands on (or a
@@ -51,6 +46,13 @@ type QueuedJob struct {
 	Key    string
 	Opt    sim.Options
 
+	// Client and Priority place the job in the scheduler: jobs compete
+	// first by priority (higher leases first), then round-robin across
+	// the clients sharing that priority, then FIFO within one client's
+	// lane. Both come from the submitting sweep's spec.
+	Client   string
+	Priority int
+
 	state    jobState
 	worker   string
 	expires  time.Time // zero for local leases
@@ -70,20 +72,37 @@ type QueuedJob struct {
 	finish func(res sim.Result, err error, via string)
 }
 
+// prioBucket holds the pending lanes of one priority level: one FIFO
+// lane per client plus a rotating round-robin cursor, so submitters
+// sharing a priority take turns job-for-job instead of queueing behind
+// whoever submitted the biggest sweep first.
+type prioBucket struct {
+	order []string                // clients in first-seen order (the RR ring)
+	next  int                     // ring cursor: index into order of the next client to serve
+	lanes map[string][]*QueuedJob // client -> FIFO lane; requeues go to the front
+}
+
 // Queue is the coupling point between sweeps and executors: runDigest
 // enqueues one job per distinct digest, and any attached Executor — the
 // in-process pool, remote workers via the lease API, or both at once —
 // pops jobs and completes them. Completion is keyed by digest and
 // idempotent, so a crashed worker's requeued job can be finished by its
 // replacement while the original's late upload is ignored.
+//
+// Scheduling is priority-then-fairness: the highest priority with
+// pending work is served first; within it, clients are round-robined
+// one job at a time; within one client, jobs run FIFO (with requeues of
+// reclaimed leases jumping to the front of that client's lane).
 type Queue struct {
-	mu      sync.Mutex
-	lookup  func(digest string) (sim.Result, bool) // late store-hit check
-	pending []*QueuedJob                           // FIFO; requeues go to the front
-	jobs    map[string]*QueuedJob                  // digest -> job, pending or leased
-	avail   chan struct{}                          // closed+replaced when work (or shutdown) arrives
-	closed  bool
-	now     func() time.Time // injectable for lease-expiry tests
+	mu       sync.Mutex
+	lookup   func(digest string) (sim.Result, bool) // late store-hit check
+	buckets  map[int]*prioBucket
+	prios    []int                 // bucket keys, sorted descending
+	npending int                   // jobs currently pending across all lanes
+	jobs     map[string]*QueuedJob // digest -> job, pending or leased
+	avail    chan struct{}         // closed+replaced when work (or shutdown) arrives
+	closed   bool
+	now      func() time.Time // injectable for lease-expiry tests
 
 	requeued int64 // leases reclaimed from silent workers (Reap)
 	released int64 // leases given back cooperatively (Release)
@@ -101,10 +120,11 @@ type Queue struct {
 // check at dispatch time; may be nil).
 func newQueue(lookup func(string) (sim.Result, bool)) *Queue {
 	return &Queue{
-		lookup: lookup,
-		jobs:   make(map[string]*QueuedJob),
-		avail:  make(chan struct{}),
-		now:    time.Now,
+		lookup:  lookup,
+		buckets: make(map[int]*prioBucket),
+		jobs:    make(map[string]*QueuedJob),
+		avail:   make(chan struct{}),
+		now:     time.Now,
 	}
 }
 
@@ -114,9 +134,58 @@ func (q *Queue) wakeLocked() {
 	q.avail = make(chan struct{})
 }
 
-// Enqueue registers a job. The finish callback runs exactly once, from
-// whichever executor completes the job (or from Shutdown).
-func (q *Queue) Enqueue(digest, key string, opt sim.Options, finish func(sim.Result, error, string)) error {
+// pushLocked files a pending job into its priority bucket and client
+// lane, creating both on first sight. front puts it at the head of its
+// lane (requeued leases run before that client's fresh work).
+func (q *Queue) pushLocked(j *QueuedJob, front bool) {
+	b := q.buckets[j.Priority]
+	if b == nil {
+		b = &prioBucket{lanes: make(map[string][]*QueuedJob)}
+		q.buckets[j.Priority] = b
+		i := sort.Search(len(q.prios), func(i int) bool { return q.prios[i] < j.Priority })
+		q.prios = append(q.prios, 0)
+		copy(q.prios[i+1:], q.prios[i:])
+		q.prios[i] = j.Priority
+	}
+	if _, seen := b.lanes[j.Client]; !seen {
+		b.order = append(b.order, j.Client)
+	}
+	if front {
+		b.lanes[j.Client] = append([]*QueuedJob{j}, b.lanes[j.Client]...)
+	} else {
+		b.lanes[j.Client] = append(b.lanes[j.Client], j)
+	}
+	q.npending++
+	q.wakeLocked()
+}
+
+// popNextLocked removes and returns the next pending job under the
+// priority-then-round-robin policy, or nil when nothing is pending.
+// Every traversal walks the deterministic prios slice and each bucket's
+// order ring — never a map — so the schedule is reproducible.
+func (q *Queue) popNextLocked() *QueuedJob {
+	for _, p := range q.prios {
+		b := q.buckets[p]
+		n := len(b.order)
+		for i := 0; i < n; i++ {
+			client := b.order[(b.next+i)%n]
+			lane := b.lanes[client]
+			if len(lane) == 0 {
+				continue
+			}
+			b.lanes[client] = lane[1:]
+			b.next = (b.next + i + 1) % n
+			q.npending--
+			return lane[0]
+		}
+	}
+	return nil
+}
+
+// Enqueue registers a job for client at priority. The finish callback
+// runs exactly once, from whichever executor completes the job (or from
+// Shutdown).
+func (q *Queue) Enqueue(digest, key, client string, priority int, opt sim.Options, finish func(sim.Result, error, string)) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
@@ -125,10 +194,13 @@ func (q *Queue) Enqueue(digest, key string, opt sim.Options, finish func(sim.Res
 	if _, dup := q.jobs[digest]; dup {
 		return fmt.Errorf("service: digest %s already queued", digest)
 	}
-	j := &QueuedJob{Digest: digest, Key: key, Opt: opt, state: statePending, finish: finish, enqueuedAt: q.now()}
+	j := &QueuedJob{
+		Digest: digest, Key: key, Opt: opt,
+		Client: client, Priority: priority,
+		state: statePending, finish: finish, enqueuedAt: q.now(),
+	}
 	q.jobs[digest] = j
-	q.pending = append(q.pending, j)
-	q.wakeLocked()
+	q.pushLocked(j, false)
 	return nil
 }
 
@@ -137,9 +209,11 @@ func (q *Queue) Enqueue(digest, key string, opt sim.Options, finish func(sim.Res
 // peer process sharing the store) without wasting an executor on them.
 func (q *Queue) takeLocked(worker string, max int, ttl time.Duration) []*QueuedJob {
 	var out []*QueuedJob
-	for len(out) < max && len(q.pending) > 0 {
-		j := q.pending[0]
-		q.pending = q.pending[1:]
+	for len(out) < max {
+		j := q.popNextLocked()
+		if j == nil {
+			break
+		}
 		if q.lookup != nil {
 			if res, ok := q.lookup(j.Digest); ok {
 				delete(q.jobs, j.Digest)
@@ -243,10 +317,10 @@ func (q *Queue) Complete(digest, worker string, res sim.Result, err error) bool 
 	return true
 }
 
-// Release returns a leased job to the front of the queue immediately (a
-// cooperative worker giving back jobs it will not run, e.g. the tail of a
-// batch aborted by an error or a SIGTERM). Only the leaseholder may
-// release; stale releases are ignored.
+// Release returns a leased job to the front of its client's lane
+// immediately (a cooperative worker giving back jobs it will not run,
+// e.g. the tail of a batch aborted by an error or a SIGTERM). Only the
+// leaseholder may release; stale releases are ignored.
 func (q *Queue) Release(digest, worker string) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -259,16 +333,16 @@ func (q *Queue) Release(digest, worker string) bool {
 	return true
 }
 
-// requeueLocked moves a leased job back to pending, at the front so
-// reclaimed work runs before fresh work. Counting (requeued vs released)
-// is the caller's: the two paths mean different things in /metrics.
+// requeueLocked moves a leased job back to pending, at the front of its
+// client's lane so reclaimed work runs before that client's fresh work.
+// Counting (requeued vs released) is the caller's: the two paths mean
+// different things in /metrics.
 func (q *Queue) requeueLocked(j *QueuedJob) {
 	j.state = statePending
 	j.worker = ""
 	j.expires = time.Time{}
 	j.enqueuedAt = q.now() // queue wait restarts; the lost lease is not wait
-	q.pending = append([]*QueuedJob{j}, q.pending...)
-	q.wakeLocked()
+	q.pushLocked(j, true)
 }
 
 // Heartbeat extends worker's leases on the given digests to now+ttl,
@@ -287,8 +361,8 @@ func (q *Queue) Heartbeat(worker string, digests []string) int {
 	return n
 }
 
-// Reap reclaims expired leases: each one goes back to the front of the
-// queue for the next executor, and a job that has been reclaimed
+// Reap reclaims expired leases: each one goes back to the front of its
+// client's lane for the next executor, and a job that has been reclaimed
 // maxRequeues times fails its flight instead of circulating forever.
 // It returns the number of leases reclaimed.
 func (q *Queue) Reap() int {
@@ -346,7 +420,7 @@ func (q *Queue) Shutdown() {
 		failed = append(failed, j)
 		delete(q.jobs, j.Digest)
 	}
-	q.pending = nil
+	q.buckets, q.prios, q.npending = nil, nil, 0
 	q.wakeLocked()
 	q.mu.Unlock()
 	// q.jobs was walked in map order; fail flights in digest order so
@@ -368,7 +442,7 @@ type queueStats struct {
 func (q *Queue) stats() queueStats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	st := queueStats{pending: len(q.pending), requeued: q.requeued, released: q.released}
+	st := queueStats{pending: q.npending, requeued: q.requeued, released: q.released}
 	for _, j := range q.jobs {
 		if j.state == stateLeased && j.worker != localWorkerID {
 			st.leased++

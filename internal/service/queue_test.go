@@ -1,0 +1,147 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"secddr/internal/sim"
+)
+
+// drainOrder leases jobs one at a time and returns the digest order the
+// scheduler served them in.
+func drainOrder(t *testing.T, q *Queue) []string {
+	t.Helper()
+	var order []string
+	for {
+		jobs, err := q.Lease("w", 1, time.Minute, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(jobs) == 0 {
+			return order
+		}
+		order = append(order, jobs[0].Digest)
+		q.Complete(jobs[0].Digest, "w", sim.Result{}, nil)
+	}
+}
+
+func mustEnqueue(t *testing.T, q *Queue, digest, client string, priority int) {
+	t.Helper()
+	if err := q.Enqueue(digest, digest, client, priority, sim.Options{}, func(sim.Result, error, string) {}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueuePriorityOrder: higher-priority jobs lease before lower ones
+// regardless of submission order, and negative priorities go last.
+func TestQueuePriorityOrder(t *testing.T) {
+	q := newQueue(nil)
+	mustEnqueue(t, q, "low", "a", -1)
+	mustEnqueue(t, q, "mid", "a", 0)
+	mustEnqueue(t, q, "high", "a", 5)
+	got := drainOrder(t, q)
+	want := []string{"high", "mid", "low"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("lease order = %v, want %v", got, want)
+	}
+}
+
+// TestQueueClientFairness: clients sharing a priority are served
+// round-robin job-for-job, so a small sweep is not starved behind a big
+// one submitted first; within one client, FIFO.
+func TestQueueClientFairness(t *testing.T) {
+	q := newQueue(nil)
+	mustEnqueue(t, q, "a1", "alice", 0)
+	mustEnqueue(t, q, "a2", "alice", 0)
+	mustEnqueue(t, q, "a3", "alice", 0)
+	mustEnqueue(t, q, "b1", "bob", 0)
+	mustEnqueue(t, q, "c1", "carol", 0)
+	got := drainOrder(t, q)
+	// Ring order is first-seen: alice, bob, carol — then alice again once
+	// the others' lanes drain.
+	want := []string{"a1", "b1", "c1", "a2", "a3"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("lease order = %v, want %v", got, want)
+	}
+}
+
+// TestQueueRequeueFront: a reclaimed lease goes back to the front of its
+// client's lane — it runs before that client's fresh work, but fairness
+// across clients is untouched.
+func TestQueueRequeueFront(t *testing.T) {
+	q := newQueue(nil)
+	clock := time.Now()
+	var mu sync.Mutex
+	q.now = func() time.Time { mu.Lock(); defer mu.Unlock(); return clock }
+
+	mustEnqueue(t, q, "a1", "alice", 0)
+	mustEnqueue(t, q, "a2", "alice", 0)
+	jobs, err := q.Lease("w1", 1, time.Second, 0)
+	if err != nil || len(jobs) != 1 || jobs[0].Digest != "a1" {
+		t.Fatalf("lease = %v, %v", jobs, err)
+	}
+	mu.Lock()
+	clock = clock.Add(2 * time.Second) // a1's lease expires
+	mu.Unlock()
+	if n := q.Reap(); n != 1 {
+		t.Fatalf("Reap() = %d, want 1", n)
+	}
+	if got := drainOrder(t, q); fmt.Sprint(got) != fmt.Sprint([]string{"a1", "a2"}) {
+		t.Fatalf("post-reap order = %v, want [a1 a2] (requeue to front)", got)
+	}
+}
+
+// TestServerQuota: MaxJobsPerClient rejects a submission that would push
+// one client's outstanding jobs over the cap, per client, and frees up
+// as sweeps complete.
+func TestServerQuota(t *testing.T) {
+	srv := NewServer(newMemStore(), ServerOptions{Workers: 1, MaxJobsPerClient: 5})
+	block := make(chan struct{})
+	srv.runSim = func(o sim.Options) (sim.Result, error) {
+		<-block
+		return fakeSim(o)
+	}
+
+	aliceSpec := tinySpec() // 4 jobs
+	aliceSpec.Client = "alice"
+	sw, _, err := srv.SubmitKeyed("alice-1", aliceSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 4 outstanding + 4 more > 5: rejected, and counted.
+	more := aliceSpec
+	more.Seed = new(uint64) // distinct spec, same client
+	if _, _, err := srv.SubmitKeyed("alice-2", more); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("over-quota submit error = %v, want ErrQuotaExceeded", err)
+	}
+	// Re-submitting the first sweep's exact (key, spec) attaches — never
+	// quota-checked, it adds no jobs.
+	if _, attached, err := srv.SubmitKeyed("alice-1", aliceSpec); err != nil || !attached {
+		t.Fatalf("attach = %v, %v; want attached", attached, err)
+	}
+	// A different client has its own budget.
+	bobSpec := tinySpec()
+	bobSpec.Client = "bob"
+	if _, _, err := srv.SubmitKeyed("bob-1", bobSpec); err != nil {
+		t.Fatalf("bob's submit rejected: %v", err)
+	}
+
+	close(block)
+	waitState(t, sw)
+	// Alice's jobs completed; her quota is free again.
+	if _, _, err := srv.SubmitKeyed("alice-2", more); err != nil {
+		t.Fatalf("post-completion submit rejected: %v", err)
+	}
+	srv.mu.Lock()
+	rejected := srv.quotaRejected
+	srv.mu.Unlock()
+	if rejected != 1 {
+		t.Fatalf("quotaRejected = %d, want 1", rejected)
+	}
+	srv.Shutdown()
+	srv.Drain()
+}

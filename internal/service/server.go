@@ -2,12 +2,17 @@ package service
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
 	"runtime"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -35,6 +40,19 @@ type ServerOptions struct {
 	// and/or job digest as attributes so one job's history greps out of
 	// interleaved server and worker logs. Nil discards them.
 	Log *slog.Logger
+
+	// WAL, when non-nil, makes sweeps durable: specs, completions, and
+	// terminal states are logged so Recover() on a fresh server over the
+	// same store resumes interrupted sweeps. Nil keeps the pre-WAL
+	// in-memory behavior (tests, embedded use).
+	WAL *WAL
+	// Epoch is the leader-lease epoch for /metrics; the WAL stamps its
+	// own epoch on records. 0 for a standalone server.
+	Epoch uint64
+	// MaxJobsPerClient caps one client's outstanding (not yet completed)
+	// jobs across its running sweeps; a submission that would exceed it
+	// fails with ErrQuotaExceeded. 0 means unlimited.
+	MaxJobsPerClient int
 }
 
 // Server runs sweep campaigns behind an HTTP API. All sweeps share one
@@ -43,6 +61,11 @@ type ServerOptions struct {
 // arrivals join the running flight (singleflight dedup), regardless of
 // whether the flight executes on the in-process pool or on a remote
 // worker that leased it.
+//
+// With a WAL attached (ServerOptions.WAL), submissions survive the
+// process: Recover() replays the directory's logs, counts completions
+// whose results the store still holds as done, and re-enqueues only the
+// remainder.
 type Server struct {
 	store        harness.Store
 	queue        *Queue
@@ -51,6 +74,9 @@ type Server struct {
 	stopExec     context.CancelFunc // stops the attached executors
 	metrics      *serverMetrics     // latency histograms served by /metrics
 	log          *slog.Logger       // structured progress; a discard logger when unset
+	wal          *WAL               // nil: ephemeral sweeps
+	epoch        uint64
+	maxPerClient int
 
 	// runSim is the simulation entry point; tests substitute a counting
 	// or blocking stub.
@@ -59,15 +85,17 @@ type Server struct {
 	mu       sync.Mutex
 	sweeps   map[string]*sweep
 	inflight map[string]*flight
-	nextID   int
 	running  sync.WaitGroup // one per background runSweep
 
 	// Cumulative counters served by /metrics.
-	simsExecuted int64 // simulations actually run
-	jobsCached   int64 // jobs served straight from the store
-	jobsDeduped  int64 // jobs that joined an in-flight or in-batch digest
-	sweepsTotal  int64
-	simsRunning  int // gauge: local simulations currently executing
+	simsExecuted    int64 // simulations actually run
+	jobsCached      int64 // jobs served straight from the store
+	jobsDeduped     int64 // jobs that joined an in-flight or in-batch digest
+	sweepsTotal     int64
+	sweepsRecovered int64 // sweeps resumed from the WAL at boot
+	walReplayed     int64 // WAL records replayed at boot
+	quotaRejected   int64 // submissions rejected by the per-client quota
+	simsRunning     int   // gauge: local simulations currently executing
 }
 
 // flight is one in-progress execution of a digest (singleflight cell).
@@ -109,6 +137,9 @@ func NewServer(store harness.Store, opt ServerOptions) *Server {
 		stopExec:     stopExec,
 		metrics:      newServerMetrics(),
 		log:          logger,
+		wal:          opt.WAL,
+		epoch:        opt.Epoch,
+		maxPerClient: opt.MaxJobsPerClient,
 		runSim:       sim.Run,
 		sweeps:       make(map[string]*sweep),
 		inflight:     make(map[string]*flight),
@@ -150,6 +181,11 @@ func (s *Server) trackRunning(delta int) {
 // goroutines (pool + lease reaper) exit. Call it before Drain so sweeps
 // blocked on unacked remote work fail promptly instead of waiting on
 // workers that may never answer.
+//
+// With a WAL attached, sweeps failed by ErrShuttingDown keep their WAL
+// entry open (no terminal record), so the next boot over the same store
+// resumes them — graceful shutdown and SIGKILL converge on the same
+// recovery path.
 func (s *Server) Shutdown() {
 	s.queue.Shutdown()
 	s.stopExec()
@@ -166,25 +202,44 @@ const (
 
 // sweep is one submitted campaign and its accumulating results.
 type sweep struct {
-	id      string
-	total   int
-	started time.Time
+	id       string
+	key      string // client-supplied submission key
+	client   string
+	priority int
+	total    int
+	started  time.Time
 
 	mu      sync.Mutex
-	results []harness.Outcome // completion order; streamed as NDJSON
+	results []StreamItem // completion order; streamed as NDJSON
+	nextSeq int          // next stream sequence number to assign (starts at 1)
 	stats   harness.Stats
 	state   sweepState
 	errMsg  string
+	failErr error         // first job failure (errors.Is-able; errMsg is its text)
 	changed chan struct{} // closed and replaced on every mutation
 }
 
+func newSweep(id, key, client string, priority, total int) *sweep {
+	sw := &sweep{
+		id: id, key: key, client: client, priority: priority,
+		total:   total,
+		started: time.Now(),
+		state:   stateRunning,
+		nextSeq: 1,
+		changed: make(chan struct{}),
+	}
+	sw.stats.Total = total
+	return sw
+}
+
 // SweepStatus is the GET /v1/sweeps/{id} document. ElapsedMS counts from
-// submission; EtaMS is the linear-rate projection of the time remaining,
-// present only while the sweep is running and at least one point has
-// finished (cached points complete instantly, so early estimates skew
-// optimistic and converge as executed points land).
+// submission (or recovery); EtaMS is the linear-rate projection of the
+// time remaining, present only while the sweep is running and at least
+// one point has finished (cached points complete instantly, so early
+// estimates skew optimistic and converge as executed points land).
 type SweepStatus struct {
 	ID        string        `json:"id"`
+	Key       string        `json:"key,omitempty"`
 	State     string        `json:"state"` // running | done | failed
 	Total     int           `json:"total"`
 	Done      int           `json:"done"`
@@ -194,10 +249,15 @@ type SweepStatus struct {
 	Error     string        `json:"error,omitempty"`
 }
 
-// SubmitResponse is the POST /v1/sweeps document.
+// SubmitResponse is the submission answer (PUT /v1/sweeps/{key} and the
+// POST shim). Attached reports that the (key, spec) pair matched an
+// already-registered sweep and the request joined it instead of starting
+// a duplicate.
 type SubmitResponse struct {
 	ID         string `json:"id"`
+	Key        string `json:"key,omitempty"`
 	Total      int    `json:"total"`
+	Attached   bool   `json:"attached,omitempty"`
 	StatusURL  string `json:"status_url"`
 	ResultsURL string `json:"results_url"`
 }
@@ -213,6 +273,7 @@ func (sw *sweep) status() SweepStatus {
 	defer sw.mu.Unlock()
 	st := SweepStatus{
 		ID:        sw.id,
+		Key:       sw.key,
 		State:     string(sw.state),
 		Total:     sw.total,
 		Done:      len(sw.results),
@@ -226,39 +287,227 @@ func (sw *sweep) status() SweepStatus {
 	return st
 }
 
-// Submit validates a spec, registers the sweep, and starts executing it
-// in the background. It returns immediately.
+// randomKey generates a submission key for the keyless POST shim.
+func randomKey() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("service: crypto/rand failed: " + err.Error())
+	}
+	return "auto-" + hex.EncodeToString(b[:])
+}
+
+// Submit registers a sweep under a generated key — the legacy
+// fire-and-forget entry point (POST /v1/sweeps). Each call starts a
+// fresh sweep; use SubmitKeyed for idempotent submission.
 func (s *Server) Submit(spec Spec) (*sweep, error) {
+	sw, _, err := s.SubmitKeyed(randomKey(), spec)
+	return sw, err
+}
+
+// SubmitKeyed validates a spec and registers the sweep under the
+// client-supplied key. The sweep ID derives from (key, spec), so
+// re-submitting the same pair — a client retry after a crash on either
+// side — attaches to the existing sweep (attached=true) instead of
+// starting a duplicate. With a WAL attached the submission is logged
+// before execution starts, making it durable across server restarts.
+func (s *Server) SubmitKeyed(key string, spec Spec) (*sweep, bool, error) {
+	if err := validateSweepKey(key); err != nil {
+		return nil, false, err
+	}
+	id, err := SweepID(key, spec)
+	if err != nil {
+		return nil, false, err
+	}
 	grid, err := spec.Grid()
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	jobs := grid.Jobs()
 	if len(jobs) == 0 {
-		return nil, fmt.Errorf("service: sweep expands to zero jobs")
+		return nil, false, fmt.Errorf("service: sweep expands to zero jobs")
 	}
 
 	s.mu.Lock()
-	s.nextID++
-	sw := &sweep{
-		id:      fmt.Sprintf("sweep-%06d", s.nextID),
-		total:   len(jobs),
-		started: time.Now(),
-		state:   stateRunning,
-		changed: make(chan struct{}),
+	if sw, ok := s.sweeps[id]; ok {
+		s.mu.Unlock()
+		s.log.Info("sweep re-submitted, attaching", "sweep", id, "key", key)
+		return sw, true, nil
 	}
-	sw.stats.Total = len(jobs)
-	s.sweeps[sw.id] = sw
+	if s.maxPerClient > 0 {
+		outstanding := 0
+		for _, other := range s.sweeps { //lint:detrange-ok summation under a lock is order-insensitive
+			if other.client != spec.Client {
+				continue
+			}
+			other.mu.Lock()
+			if other.state == stateRunning {
+				outstanding += other.total - len(other.results)
+			}
+			other.mu.Unlock()
+		}
+		if outstanding+len(jobs) > s.maxPerClient {
+			s.quotaRejected++
+			s.mu.Unlock()
+			return nil, false, fmt.Errorf("%w: client %q has %d jobs outstanding, sweep adds %d, quota is %d",
+				ErrQuotaExceeded, spec.Client, outstanding, len(jobs), s.maxPerClient)
+		}
+	}
+	sw := newSweep(id, key, spec.Client, spec.Priority, len(jobs))
+	s.sweeps[id] = sw
 	s.sweepsTotal++
 	s.running.Add(1)
 	s.mu.Unlock()
 
-	s.log.Info("sweep submitted", "sweep", sw.id, "jobs", len(jobs))
+	if s.wal != nil {
+		raw, err := json.Marshal(spec)
+		if err == nil {
+			err = s.wal.Append(walRecord{Type: walSweepRec, Sweep: id, Key: key, Spec: raw})
+		}
+		if err != nil {
+			// Durability degrades, the live sweep still runs.
+			s.log.Error("WAL sweep record failed", "sweep", id, "err", err)
+		}
+	}
+
+	s.log.Info("sweep submitted", "sweep", id, "key", key, "client", spec.Client,
+		"priority", spec.Priority, "jobs", len(jobs))
 	go func() {
 		defer s.running.Done()
 		s.runSweep(sw, jobs)
 	}()
-	return sw, nil
+	return sw, false, nil
+}
+
+// Recover replays every WAL file in the store directory (except this
+// server's own), reconciles recorded completions against the result
+// store, and resumes unfinished sweeps: completions whose results the
+// store holds are replayed into the result stream under their original
+// sequence numbers, and only the remaining jobs are re-enqueued — so a
+// SIGKILLed server's sweeps finish with zero lost and zero re-executed
+// digests. Terminal sweeps are re-registered read-only so clients can
+// still fetch their status and streams. Call it once, after NewServer
+// and before serving traffic. It returns the number of sweeps resumed.
+func (s *Server) Recover() (int, error) {
+	if s.wal == nil {
+		return 0, nil
+	}
+	replayed, nrec, err := ReplayWAL(s.wal.Dir(), s.wal.Name())
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	s.walReplayed = int64(nrec)
+	s.mu.Unlock()
+	if len(replayed) == 0 {
+		return 0, nil
+	}
+
+	// Deterministic recovery order (the replay map is keyed by sweep id).
+	ids := make([]string, 0, len(replayed))
+	for id := range replayed {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	resumed := 0
+	for _, id := range ids {
+		ws := replayed[id]
+		if ws.Spec == nil {
+			// The sweep record itself was in a torn tail: nothing to
+			// re-derive the job set from. The submitting client's keyed
+			// retry will start it over.
+			s.log.Warn("WAL has completions but no spec; skipping", "sweep", id)
+			continue
+		}
+		var spec Spec
+		if err := json.Unmarshal(ws.Spec, &spec); err != nil {
+			s.log.Warn("WAL spec does not decode; skipping", "sweep", id, "err", err)
+			continue
+		}
+		grid, err := spec.Grid()
+		if err != nil {
+			s.log.Warn("WAL spec no longer expands; skipping", "sweep", id, "err", err)
+			continue
+		}
+		jobs := grid.Jobs()
+		sw := newSweep(id, ws.Key, spec.Client, spec.Priority, len(jobs))
+		sw.nextSeq = ws.maxSeq() + 1 // never reuse a seq a client may have consumed
+
+		jobByKey := make(map[string]harness.Job, len(jobs))
+		for _, j := range jobs {
+			jobByKey[j.Key] = j
+		}
+		seqs := make([]int, 0, len(ws.Done))
+		for seq := range ws.Done {
+			seqs = append(seqs, seq)
+		}
+		sort.Ints(seqs)
+		replayedKeys := make(map[string]bool, len(seqs))
+		for _, seq := range seqs {
+			rec := ws.Done[seq]
+			j, ok := jobByKey[rec.JobKey]
+			if !ok || replayedKeys[rec.JobKey] {
+				continue
+			}
+			res, ok := s.store.Lookup(rec.Digest)
+			if !ok {
+				// The WAL promised a completion the store cannot back
+				// (its segment lost the record's tail): drop the claim,
+				// the job re-runs and re-completes under a fresh seq.
+				s.log.Warn("WAL completion without stored result; job re-runs",
+					"sweep", id, "key", rec.JobKey, "digest", rec.Digest)
+				continue
+			}
+			sw.results = append(sw.results, StreamItem{
+				Seq: rec.Seq,
+				Outcome: harness.Outcome{
+					Key:      rec.JobKey,
+					Workload: j.Opt.WorkloadName(),
+					Mode:     j.Opt.Config.Security.Mode.String(),
+					Digest:   rec.Digest,
+					Cached:   rec.Cached,
+					Result:   res,
+				},
+			})
+			replayedKeys[rec.JobKey] = true
+			sw.stats.Recovered++
+			if rec.Cached {
+				sw.stats.Cached++
+			} else {
+				sw.stats.Executed++
+			}
+		}
+
+		if ws.EndState != "" {
+			sw.state, sw.errMsg = sweepState(ws.EndState), ws.EndError
+			s.mu.Lock()
+			s.sweeps[id] = sw
+			s.sweepsTotal++
+			s.mu.Unlock()
+			continue
+		}
+
+		remaining := make([]harness.Job, 0, len(jobs)-len(replayedKeys))
+		for _, j := range jobs {
+			if !replayedKeys[j.Key] {
+				remaining = append(remaining, j)
+			}
+		}
+		s.mu.Lock()
+		s.sweeps[id] = sw
+		s.sweepsTotal++
+		s.sweepsRecovered++
+		s.running.Add(1)
+		s.mu.Unlock()
+		resumed++
+		s.log.Info("sweep recovered", "sweep", id, "key", ws.Key,
+			"replayed", len(replayedKeys), "remaining", len(remaining))
+		go func(sw *sweep, remaining []harness.Job) {
+			defer s.running.Done()
+			s.runSweep(sw, remaining)
+		}(sw, remaining)
+	}
+	return resumed, nil
 }
 
 // Drain blocks until every submitted sweep has finished executing. Call
@@ -266,6 +515,14 @@ func (s *Server) Submit(spec Spec) (*sweep, error) {
 // before closing the store, so results of in-flight simulations reach
 // the store instead of dying with the process.
 func (s *Server) Drain() { s.running.Wait() }
+
+// resumableFailure reports whether a sweep failure must keep the WAL
+// entry open: shutdown and leadership loss are process-lifecycle events,
+// not verdicts on the sweep, and the next boot (or the new leader)
+// resumes the sweep where it stopped.
+func resumableFailure(err error) bool {
+	return errors.Is(err, ErrShuttingDown) || errors.Is(err, ErrNotLeader)
+}
 
 // runSweep executes a sweep's jobs: store hits complete immediately, the
 // rest run on the shared pool with one flight per distinct digest.
@@ -301,11 +558,12 @@ func (s *Server) runSweep(sw *sweep, jobs []harness.Job) {
 		wg.Add(1)
 		go func(d string, g *group) {
 			defer wg.Done()
-			res, how, err := s.runDigest(d, g.jobs[0].Key, g.opt)
+			res, how, err := s.runDigest(d, g.jobs[0].Key, sw.client, sw.priority, g.opt)
 			if err != nil {
 				s.log.Error("job failed", "sweep", sw.id, "digest", d, "key", g.jobs[0].Key, "err", err)
 				sw.mu.Lock()
-				if sw.errMsg == "" {
+				if sw.failErr == nil {
+					sw.failErr = err
 					sw.errMsg = fmt.Sprintf("%s: %v", g.jobs[0].Key, err)
 				}
 				sw.notifyLocked()
@@ -338,20 +596,31 @@ func (s *Server) runSweep(sw *sweep, jobs []harness.Job) {
 	wg.Wait()
 
 	sw.mu.Lock()
-	if sw.errMsg != "" {
+	if sw.failErr != nil {
 		sw.state = stateFailed
 	} else {
 		sw.state = stateDone
 	}
-	state, stats := sw.state, sw.stats
+	state, stats, failErr, errMsg := sw.state, sw.stats, sw.failErr, sw.errMsg
 	sw.notifyLocked()
 	sw.mu.Unlock()
+	// A terminal WAL record seals the sweep — except for failures that
+	// mean "this process stopped", which the next boot resumes.
+	if s.wal != nil && !resumableFailure(failErr) {
+		if err := s.wal.Append(walRecord{Type: walEndRec, Sweep: sw.id, State: string(state), Error: errMsg}); err != nil {
+			s.log.Error("WAL end record failed", "sweep", sw.id, "err", err)
+		}
+	}
 	s.log.Info("sweep finished", "sweep", sw.id, "state", string(state),
 		"executed", stats.Executed, "cached", stats.Cached, "deduped", stats.Deduped,
+		"recovered", stats.Recovered,
 		"elapsed", time.Since(sw.started).Round(time.Millisecond))
 }
 
-// completeGroup appends one outcome per job of a finished digest.
+// completeGroup appends one outcome per job of a finished digest,
+// assigning each its stream sequence number and logging the completions
+// to the WAL before publication — so any line a client has seen is
+// backed by both a stored result and a WAL record.
 // cachedJobs is the store-hit accounting (executed/joined digests were
 // already folded into the stats by the caller and pass 0).
 func (s *Server) completeGroup(sw *sweep, digest string, jobs []harness.Job, res sim.Result, cached bool, cachedJobs int) {
@@ -362,14 +631,34 @@ func (s *Server) completeGroup(sw *sweep, digest string, jobs []harness.Job, res
 	defer sw.mu.Unlock()
 	sw.stats.Cached += cachedJobs
 	for _, j := range jobs {
-		sw.results = append(sw.results, harness.Outcome{
-			Key:      j.Key,
-			Workload: j.Opt.WorkloadName(),
-			Mode:     j.Opt.Config.Security.Mode.String(),
-			Digest:   digest,
-			Cached:   cached,
-			Result:   res,
-		})
+		seq := sw.nextSeq
+		sw.nextSeq++
+		item := StreamItem{
+			Seq: seq,
+			Outcome: harness.Outcome{
+				Key:      j.Key,
+				Workload: j.Opt.WorkloadName(),
+				Mode:     j.Opt.Config.Security.Mode.String(),
+				Digest:   digest,
+				Cached:   cached,
+				Result:   res,
+			},
+		}
+		if s.wal != nil {
+			// Held under sw.mu so the sweep's done records land in the
+			// file in seq order (replay sorts anyway; the order makes
+			// the log greppable). The result itself is already in the
+			// store — runDigest records before publishing — so a crash
+			// between store append and this line just re-completes the
+			// job as a store hit on recovery.
+			if err := s.wal.Append(walRecord{
+				Type: walDoneRec, Sweep: sw.id, Seq: seq,
+				JobKey: j.Key, Digest: digest, Cached: cached,
+			}); err != nil {
+				s.log.Error("WAL done record failed", "sweep", sw.id, "key", j.Key, "err", err)
+			}
+		}
+		sw.results = append(sw.results, item)
 	}
 	sw.notifyLocked()
 }
@@ -399,7 +688,7 @@ const (
 // a remote worker's result upload — is invisible here: both resolve the
 // flight through the same finish callback, which routes the result
 // through the shared store first.
-func (s *Server) runDigest(d, key string, opt sim.Options) (sim.Result, string, error) {
+func (s *Server) runDigest(d, key, client string, priority int, opt sim.Options) (sim.Result, string, error) {
 	s.mu.Lock()
 	if f, ok := s.inflight[d]; ok {
 		s.mu.Unlock()
@@ -425,7 +714,7 @@ func (s *Server) runDigest(d, key string, opt sim.Options) (sim.Result, string, 
 		s.mu.Unlock()
 		close(f.done)
 	}
-	if err := s.queue.Enqueue(d, key, opt, finish); err != nil {
+	if err := s.queue.Enqueue(d, key, client, priority, opt, finish); err != nil {
 		finish(sim.Result{}, err, viaFailed)
 	}
 	<-f.done
@@ -434,9 +723,10 @@ func (s *Server) runDigest(d, key string, opt sim.Options) (sim.Result, string, 
 
 // Handler returns the HTTP API:
 //
-//	POST /v1/sweeps                submit a Spec, 202 + SubmitResponse
+//	PUT  /v1/sweeps/{key}          idempotent keyed submit, 202 (200 if attached) + SubmitResponse
+//	POST /v1/sweeps                legacy shim: submit under a generated key
 //	GET  /v1/sweeps/{id}           SweepStatus
-//	GET  /v1/sweeps/{id}/results   NDJSON outcome stream (as points finish)
+//	GET  /v1/sweeps/{id}/results   NDJSON stream; ?after=<seq> resumes from a cursor
 //	GET  /v1/results/{digest}      one stored result
 //	POST /v1/jobs/lease            worker: lease queued jobs (long-poll)
 //	POST /v1/jobs/{digest}/result  worker: upload a result or error (ack)
@@ -446,6 +736,7 @@ func (s *Server) runDigest(d, key string, opt sim.Options) (sim.Result, string, 
 //	GET  /metrics                  Prometheus text exposition
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /v1/sweeps/{key}", s.handleSubmitKeyed)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleResults)
@@ -495,7 +786,7 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	wait := time.Duration(req.WaitMS) * time.Millisecond
 	jobs, err := s.fleet.lease(req.WorkerID, req.MaxJobs, ttl, wait)
 	if err != nil {
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		httpTypedError(w, http.StatusServiceUnavailable, err)
 		return
 	}
 	resp := LeaseResponse{TTLMS: ttl.Milliseconds(), Jobs: make([]WireJob, 0, len(jobs))}
@@ -577,7 +868,60 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	json.NewEncoder(w).Encode(apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// httpTypedError answers with the error's wire code (and leader hint, if
+// any), so the Client can rebuild the matching sentinel.
+func httpTypedError(w http.ResponseWriter, status int, err error) {
+	body := apiError{Error: err.Error(), Code: errorCode(err)}
+	var nle *NotLeaderError
+	if errors.As(err, &nle) {
+		body.Leader = nle.Leader
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+// submitStatus maps a submission error to its HTTP status.
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQuotaExceeded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrShuttingDown), errors.Is(err, ErrNotLeader):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+func (s *Server) handleSubmitKeyed(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid sweep spec: %v", err)
+		return
+	}
+	sw, attached, err := s.SubmitKeyed(r.PathValue("key"), spec)
+	if err != nil {
+		httpTypedError(w, submitStatus(err), err)
+		return
+	}
+	status := http.StatusAccepted
+	if attached {
+		status = http.StatusOK
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(SubmitResponse{
+		ID:         sw.id,
+		Key:        sw.key,
+		Total:      sw.total,
+		Attached:   attached,
+		StatusURL:  "/v1/sweeps/" + sw.id,
+		ResultsURL: "/v1/sweeps/" + sw.id + "/results",
+	})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -590,13 +934,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	sw, err := s.Submit(spec)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpTypedError(w, submitStatus(err), err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
 	json.NewEncoder(w).Encode(SubmitResponse{
 		ID:         sw.id,
+		Key:        sw.key,
 		Total:      sw.total,
 		StatusURL:  "/v1/sweeps/" + sw.id,
 		ResultsURL: "/v1/sweeps/" + sw.id + "/results",
@@ -613,7 +958,7 @@ func (s *Server) lookupSweep(id string) (*sweep, bool) {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	sw, ok := s.lookupSweep(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, "no such sweep %q", r.PathValue("id"))
+		httpTypedError(w, http.StatusNotFound, fmt.Errorf("%w: %q", ErrUnknownSweep, r.PathValue("id")))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -621,28 +966,48 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleResults streams the sweep's outcomes as NDJSON in completion
-// order, flushing per line, until the sweep is finished (or the client
-// goes away). A client that connects after completion gets everything.
+// order, flushing per line batch, until the sweep is finished (or the
+// client goes away). ?after=<seq> skips lines the client already
+// consumed — the resume cursor. A finished, drained stream ends with an
+// end sentinel line carrying the terminal state and final stats, so a
+// client can distinguish "stream complete" from "connection lost".
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	sw, ok := s.lookupSweep(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, "no such sweep %q", r.PathValue("id"))
+		httpTypedError(w, http.StatusNotFound, fmt.Errorf("%w: %q", ErrUnknownSweep, r.PathValue("id")))
 		return
+	}
+	after := 0
+	if v := r.URL.Query().Get("after"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "invalid cursor %q", v)
+			return
+		}
+		after = n
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 
-	next := 0
+	// Results append in strictly increasing seq order, so the cursor is
+	// a binary search and "next" stays a plain index from there on.
+	sw.mu.Lock()
+	next := sort.Search(len(sw.results), func(i int) bool { return sw.results[i].Seq > after })
+	sw.mu.Unlock()
+
 	for {
 		sw.mu.Lock()
 		batch := sw.results[next:]
 		state := sw.state
+		errMsg := sw.errMsg
+		stats := sw.stats
+		lastSeq := sw.nextSeq - 1
 		changed := sw.changed
 		sw.mu.Unlock()
 
-		for _, o := range batch {
-			if err := enc.Encode(o); err != nil {
+		for _, item := range batch {
+			if err := enc.Encode(item); err != nil {
 				return // client gone
 			}
 		}
@@ -653,8 +1018,22 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		if state != stateRunning {
 			sw.mu.Lock()
 			drained := next == len(sw.results)
+			resumable := sw.state == stateFailed && resumableFailure(sw.failErr)
 			sw.mu.Unlock()
 			if drained {
+				if resumable {
+					// Shutdown or leadership loss, not a verdict: close
+					// without a sentinel so the client reads it as a lost
+					// connection and resumes — against this server's next
+					// boot, or through a follower proxying to the new
+					// leader, either of which recovers the sweep from the
+					// WAL and picks the stream up at the cursor.
+					return
+				}
+				enc.Encode(streamEnd{Seq: lastSeq, End: true, State: string(state), Error: errMsg, Stats: stats})
+				if flusher != nil {
+					flusher.Flush()
+				}
 				return
 			}
 			continue
@@ -686,11 +1065,13 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 // whose last append failed (disk full, directory gone) degrades the
 // answer to 503 so load balancers stop routing sweeps at a server that
 // would accept and then lose them. QueueDepth rides along as the cheapest
-// load signal.
+// load signal. Role distinguishes a leader from a proxying follower in
+// a replica group.
 type HealthStatus struct {
 	Status     string `json:"status"` // ok | degraded
 	Store      string `json:"store"`  // ok | the sticky write error
 	QueueDepth int    `json:"queue_depth"`
+	Role       string `json:"role,omitempty"` // leader | follower (replicas only)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -710,7 +1091,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // handleMetrics serves valid Prometheus text exposition (version 0.0.4):
 // scheduling counters (simulations run, jobs deduped, jobs served from
 // cache), fleet state (attached workers, queue depth, leases handed out /
-// reclaimed / completed remotely), result-store size when the backend
+// reclaimed / completed remotely), durability state (WAL records, sweeps
+// recovered, leader lease epoch), result-store size when the backend
 // reports it, build identification, and the server's latency histograms.
 // Single-sample families keep the bare `name value` line the smoke
 // scripts grep for; HELP/TYPE headers and histogram families are what a
@@ -721,12 +1103,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	sweepsTotal := s.sweepsTotal
 	sweepsActive := s.countActiveLocked()
+	sweepsRecovered := s.sweepsRecovered
+	walReplayed := s.walReplayed
+	quotaRejected := s.quotaRejected
 	simsExecuted := s.simsExecuted
 	jobsCached := s.jobsCached
 	jobsDeduped := s.jobsDeduped
 	simsRunning := s.simsRunning
 	inflight := len(s.inflight)
 	s.mu.Unlock()
+	walRecords := walReplayed
+	if s.wal != nil {
+		walRecords += s.wal.Records()
+	}
 
 	var e obs.Exposition
 	version, revision := obs.BuildFields()
@@ -735,7 +1124,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	e.Counter("secddr_sims_executed_total", "Simulations actually run (local pool or remote workers).", simsExecuted)
 	e.Counter("secddr_jobs_cached_total", "Jobs answered straight from the result store.", jobsCached)
 	e.Counter("secddr_jobs_deduped_total", "Jobs that joined an in-flight or in-batch digest.", jobsDeduped)
-	e.Counter("secddr_sweeps_total", "Sweeps ever submitted.", sweepsTotal)
+	e.Counter("secddr_sweeps_total", "Sweeps ever submitted or recovered.", sweepsTotal)
+	e.Counter("secddr_sweeps_recovered_total", "Unfinished sweeps resumed from the WAL at boot.", sweepsRecovered)
+	e.Counter("secddr_wal_records_total", "Sweep WAL records: replayed at boot plus appended since.", walRecords)
+	e.Counter("secddr_quota_rejections_total", "Submissions rejected by the per-client quota.", quotaRejected)
+	e.Gauge("secddr_leader", "1 while this process leads the shared queue (a standalone server always leads).", 1)
+	e.Gauge("secddr_lease_epoch", "Leader-lease epoch fencing this server's WAL records (0 standalone).", float64(s.epoch))
 	e.Gauge("secddr_sweeps_active", "Sweeps currently running.", float64(sweepsActive))
 	e.Gauge("secddr_sims_running", "Local simulations executing right now.", float64(simsRunning))
 	e.Gauge("secddr_digests_inflight", "Distinct digests with an open flight.", float64(inflight))

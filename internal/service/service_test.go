@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
@@ -150,8 +151,23 @@ func TestRemoteSweepEndToEnd(t *testing.T) {
 		}
 	}
 
-	// Identical re-submission: zero simulations, everything cached.
-	outs2, stats2, err := cl.RunRemote(ctx, tinySpec(), nil)
+	// Identical re-submission under the same (default) key attaches to
+	// the finished sweep instead of starting a duplicate.
+	key, err := tinySpec().DefaultKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := cl.SubmitKeyed(ctx, key, tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub.Attached {
+		t.Fatalf("re-submission of the same (key, spec) did not attach: %+v", sub)
+	}
+
+	// The same grid under a different key is a distinct sweep — served
+	// entirely from the store, zero simulations.
+	outs2, stats2, err := cl.RunRemoteKeyed(ctx, "rerun", tinySpec(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,10 +283,8 @@ func TestHTTPSurface(t *testing.T) {
 		!strings.Contains(err.Error(), "unknown mode") {
 		t.Errorf("bad spec error = %v", err)
 	}
-	if _, err := cl.Status(ctx, "sweep-999999"); err == nil || !strings.Contains(err.Error(), "404") {
-		if err == nil || !strings.Contains(err.Error(), "no such sweep") {
-			t.Errorf("missing sweep error = %v", err)
-		}
+	if _, err := cl.Status(ctx, "sweep-999999"); !errors.Is(err, ErrUnknownSweep) {
+		t.Errorf("missing sweep error = %v, want ErrUnknownSweep", err)
 	}
 
 	if _, _, err := cl.RunRemote(ctx, tinySpec(), nil); err != nil {
@@ -334,8 +348,10 @@ func TestStreamWhileRunning(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := make(chan harness.Outcome, 8)
-	go cl.StreamResults(ctx, sub.ID, func(o harness.Outcome) error {
-		got <- o
+	go cl.StreamResults(ctx, sub.ID, func(item StreamItem) error {
+		if !item.End {
+			got <- item.Outcome
+		}
 		return nil
 	})
 	select {

@@ -7,6 +7,9 @@
 package service
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -55,6 +58,66 @@ type Spec struct {
 	// Channels, when > 0, overrides the DDR channel count on every mode
 	// (must be a power of two).
 	Channels int `json:"channels,omitempty"`
+
+	// Client names the submitter for quota accounting and fair
+	// scheduling (the queue round-robins across clients); empty means
+	// the anonymous client. It does not affect job digests, so two
+	// clients sweeping the same grid still share every simulation.
+	Client string `json:"client,omitempty"`
+	// Priority orders queued work: jobs of higher-priority sweeps lease
+	// before lower ones, regardless of submission order. Default 0;
+	// negative deprioritizes. It does not affect job digests.
+	Priority int `json:"priority,omitempty"`
+}
+
+// DefaultKey derives a deterministic sweep key from the spec itself, so
+// clients that do not name their submissions still get idempotent
+// re-submission: the same grid maps to the same key, and a crashed
+// client's retry attaches to the sweep its first attempt started.
+func (sp Spec) DefaultKey() (string, error) {
+	raw, err := json.Marshal(sp)
+	if err != nil {
+		return "", fmt.Errorf("service: encoding spec: %w", err)
+	}
+	sum := sha256.Sum256(raw)
+	return "k-" + hex.EncodeToString(sum[:8]), nil
+}
+
+// SweepID derives the stable sweep identifier for a (key, spec) pair:
+// the same submission always lands on the same ID, which is what makes
+// PUT /v1/sweeps/{key} idempotent across client retries, server
+// restarts, and replica failover. Distinct specs under one key get
+// distinct IDs (a reused key does not silently attach to a different
+// grid). The spec's JSON form — including Client and Priority — is part
+// of the identity.
+func SweepID(key string, spec Spec) (string, error) {
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return "", fmt.Errorf("service: encoding spec: %w", err)
+	}
+	h := sha256.New()
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write(raw)
+	return "sw-" + hex.EncodeToString(h.Sum(nil)[:8]), nil
+}
+
+// validateSweepKey bounds client-supplied keys: they travel in URL
+// paths and WAL records, so keep them short, non-empty, and free of
+// path separators and whitespace.
+func validateSweepKey(key string) error {
+	if key == "" {
+		return fmt.Errorf("service: sweep key must not be empty")
+	}
+	if len(key) > 200 {
+		return fmt.Errorf("service: sweep key longer than 200 bytes")
+	}
+	for _, r := range key {
+		if r == '/' || r == '\\' || r <= ' ' || r == 0x7f {
+			return fmt.Errorf("service: sweep key %q contains %q", key, r)
+		}
+	}
+	return nil
 }
 
 // Grid validates the spec against internal/config and internal/trace and

@@ -1,6 +1,9 @@
 package service
 
-import "secddr/internal/sim"
+import (
+	"secddr/internal/harness"
+	"secddr/internal/sim"
+)
 
 // Wire types of the worker fleet's leasing protocol. A job's ID on the
 // wire is its digest: the queue holds at most one job per digest (the
@@ -79,4 +82,44 @@ type HeartbeatRequest struct {
 // ignored, the worker may abandon them).
 type HeartbeatResponse struct {
 	Held int `json:"held"`
+}
+
+// StreamItem is one line of the GET /v1/sweeps/{id}/results NDJSON
+// stream. Result lines carry a per-sweep sequence number (strictly
+// increasing, persisted in the WAL, so it survives restarts and
+// failover) plus the embedded outcome; the final line of a finished
+// stream is an end sentinel (End=true) carrying the sweep's terminal
+// state and stats instead of an outcome. A client resuming with
+// ?after=<seq> receives exactly the lines it has not seen.
+//
+// Sequence numbers are monotone but not necessarily contiguous: a
+// completion whose stored result was lost to a crash is dropped on
+// replay and its job re-completes under a fresh (higher) seq.
+type StreamItem struct {
+	Seq int `json:"seq"`
+	harness.Outcome
+	End   bool           `json:"end,omitempty"`
+	State string         `json:"state,omitempty"` // terminal state on end lines: done | failed
+	Error string         `json:"error,omitempty"`
+	Stats *harness.Stats `json:"stats,omitempty"` // final sweep stats on end lines
+}
+
+// streamEnd is the server-side marshal shape of the end sentinel — a
+// separate struct so the sentinel line does not drag empty outcome
+// fields along.
+type streamEnd struct {
+	Seq   int           `json:"seq"` // the stream's last result seq
+	End   bool          `json:"end"`
+	State string        `json:"state"`
+	Error string        `json:"error,omitempty"`
+	Stats harness.Stats `json:"stats"`
+}
+
+// apiError is the JSON body of every non-2xx API answer. Code, when
+// present, names a typed failure (see errors.go) that the Client maps
+// back to the matching sentinel; Leader is the not_leader redirect hint.
+type apiError struct {
+	Error  string `json:"error"`
+	Code   string `json:"code,omitempty"`
+	Leader string `json:"leader,omitempty"`
 }

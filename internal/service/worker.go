@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -110,6 +111,11 @@ func (w *Worker) Run(ctx context.Context) error {
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil
+			}
+			// Leadership churn (replica failover, graceful restart) resolves
+			// in seconds; don't let the backoff climb toward 30s over it.
+			if (errors.Is(err, ErrNotLeader) || errors.Is(err, ErrShuttingDown)) && backoff > 2*time.Second {
+				backoff = 2 * time.Second
 			}
 			w.logf("lease failed (retrying in %v): %v", backoff, err)
 			w.slog().Warn("lease failed", "worker", id, "retry_in", backoff, "err", err)

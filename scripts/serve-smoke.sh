@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # End-to-end smoke for the campaign service: boots secddr-serve on a free
 # port, submits a QuickScale 2x2 grid through the secddr-sweep client,
-# re-submits the identical grid to prove the second run is served entirely
-# from the result store (0 simulations), and checks /metrics agrees.
+# re-submits the identical grid to prove the second run attaches to the
+# finished sweep (idempotent keyed submission, 0 new simulations), runs
+# it once more under a fresh key to prove the store serves it without
+# simulating, and checks /metrics agrees.
 # Run from the repo root: ./scripts/serve-smoke.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -43,19 +45,27 @@ cat "$work/run1.log"
 grep -q "4 points: 4 executed, 0 cached" "$work/run1.log" \
   || { echo "FAIL: first run did not execute all 4 points"; exit 1; }
 
-echo "== identical re-submission (must be 100% cache-hit: 0 simulations)"
+echo "== identical re-submission (attaches to the finished sweep: 0 new simulations)"
 "$work/secddr-sweep" "${grid[@]}" -out "$work/run2.json" 2>"$work/run2.log"
 cat "$work/run2.log"
-grep -q "4 points: 0 executed, 4 cached" "$work/run2.log" \
-  || { echo "FAIL: re-submission was not served entirely from the store"; exit 1; }
+grep -q "4 points:" "$work/run2.log" \
+  || { echo "FAIL: re-submission did not stream the full sweep back"; exit 1; }
 
-echo "== results are identical across live and cached runs"
+echo "== fresh-key re-submission (must be 100% cache-hit: 0 simulations)"
+"$work/secddr-sweep" "${grid[@]}" -sweep-key rerun -out "$work/run3.json" 2>"$work/run3.log"
+cat "$work/run3.log"
+grep -q "4 points: 0 executed, 4 cached" "$work/run3.log" \
+  || { echo "FAIL: fresh-key re-submission was not served entirely from the store"; exit 1; }
+
+echo "== results are identical across live, attached, and cached runs"
 # Strip the provenance lines (campaign stats + per-outcome cached flags);
 # the simulation payloads must match byte for byte.
-for f in run1 run2; do
-  grep -vE '"(cached|executed|deduped|forked|warmups)":' "$work/$f.json" > "$work/$f.stripped"
+for f in run1 run2 run3; do
+  grep -vE '"(cached|executed|deduped|forked|warmups|recovered)":' "$work/$f.json" > "$work/$f.stripped"
 done
 cmp -s "$work/run1.stripped" "$work/run2.stripped" \
+  || { echo "FAIL: attached-sweep results differ from live results"; exit 1; }
+cmp -s "$work/run1.stripped" "$work/run3.stripped" \
   || { echo "FAIL: cached results differ from live results"; exit 1; }
 
 echo "== /metrics agrees (4 sims ever, 4 cached jobs, store holds 4 entries)"

@@ -232,6 +232,51 @@ func NewSweepServer(store CampaignStore, opt SweepServerOptions) *SweepServer {
 	return service.NewServer(store, opt)
 }
 
+// SweepWAL is the campaign service's write-ahead log: attach one via
+// SweepServerOptions.WAL and call SweepServer.Recover on boot, and
+// submitted sweeps survive server crashes and restarts — completed
+// points replay from the result store, only the remainder re-runs.
+type SweepWAL = service.WAL
+
+// OpenSweepWAL creates this process's WAL file inside the store
+// directory. epoch is the leader-lease epoch (0 standalone).
+func OpenSweepWAL(dir string, epoch uint64) (*SweepWAL, error) {
+	return service.OpenWAL(dir, epoch)
+}
+
+// SweepReplica is one member of a replica group: several secddr-serve
+// processes sharing a store directory, electing a leader through a
+// leased file, with followers proxying the API to it and taking over
+// (WAL replay included) when it dies.
+type SweepReplica = service.Replica
+
+// SweepReplicaOptions configures a SweepReplica.
+type SweepReplicaOptions = service.ReplicaOptions
+
+// NewSweepReplica wires a replica over an open store; dir is the store
+// directory its lease and WAL files live in.
+func NewSweepReplica(store CampaignStore, dir string, opt SweepReplicaOptions) *SweepReplica {
+	return service.NewReplica(store, dir, opt)
+}
+
+// SweepStreamItem is one line of a sweep's NDJSON result stream: a
+// sequenced outcome, or the end sentinel carrying terminal state and
+// final stats. SweepClient.StreamResults resumes across connection loss
+// by cursor, delivering every item exactly once.
+type SweepStreamItem = service.StreamItem
+
+// SweepStatus is a sweep's progress document (GET /v1/sweeps/{id}).
+type SweepStatus = service.SweepStatus
+
+// Typed campaign-service failures, usable with errors.Is on both sides
+// of the wire (the client rebuilds them from HTTP error codes).
+var (
+	ErrSweepShuttingDown = service.ErrShuttingDown
+	ErrSweepQuota        = service.ErrQuotaExceeded
+	ErrUnknownSweep      = service.ErrUnknownSweep
+	ErrNotLeader         = service.ErrNotLeader
+)
+
 // Scale controls experiment length.
 type Scale = experiments.Scale
 
