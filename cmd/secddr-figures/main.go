@@ -25,6 +25,7 @@ import (
 	"secddr/internal/experiments"
 	"secddr/internal/obs"
 	"secddr/internal/resultstore"
+	"secddr/internal/sim"
 )
 
 func main() {
@@ -42,6 +43,8 @@ func run() error {
 		warmup     = flag.Uint64("warmup", 0, "override warmup instructions per core")
 		workloads  = flag.String("workloads", "", "comma-separated workload subset")
 		workers    = flag.Int("workers", 0, "parallel simulations (default NumCPU-1)")
+		fidelity   = flag.String("fidelity", "exact", `execution fidelity: "exact" (cycle-accurate, figure-quality) or "sampled" (interval sampling; normalized values print with ±95% CI)`)
+		ciTarget   = flag.Float64("ci-target", 0, "sampled fidelity: stop each point early once IPC and bandwidth 95% CIs shrink below this fraction of their means")
 		checkpoint = flag.String("checkpoint", "", "legacy JSON result cache shared across figures (see secddr-sweep)")
 		storeDir   = flag.String("store", "", "segment result store directory (preferred cache backend; overrides -checkpoint)")
 		version    = flag.Bool("version", false, "print build version and exit")
@@ -66,6 +69,11 @@ func run() error {
 	if *workloads != "" {
 		scale.Workloads = strings.Split(*workloads, ",")
 	}
+	fidMode, err := sim.ParseFidelityMode(*fidelity)
+	if err != nil {
+		return err
+	}
+	scale.Fidelity = sim.Fidelity{Mode: fidMode, TargetCI: *ciTarget}
 	scale.Workers = *workers
 	scale.Checkpoint = *checkpoint
 	if *storeDir != "" {

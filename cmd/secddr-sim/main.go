@@ -6,6 +6,7 @@
 //
 //	secddr-sim -workload mcf -mode secddr+xts -instr 1000000
 //	secddr-sim -workload lbm -json        # machine-readable result
+//	secddr-sim -fidelity sampled -ci-target 0.03   # interval sampling, ±CI output
 //	secddr-sim -scenario thrash-one       # built-in multi-core scenario
 //	secddr-sim -list                      # workloads, scenarios, and modes
 //	secddr-sim -print-config              # dump the Table I configuration
@@ -49,6 +50,8 @@ func run() error {
 		instr       = flag.Uint64("instr", 500_000, "measured instructions per core")
 		warmup      = flag.Uint64("warmup", 200_000, "warmup instructions per core")
 		seed        = flag.Uint64("seed", 42, "workload seed")
+		fidelity    = flag.String("fidelity", "exact", `execution fidelity: "exact" (cycle-accurate throughout) or "sampled" (interval sampling; metrics come back as mean ±95% CI)`)
+		ciTarget    = flag.Float64("ci-target", 0, "sampled mode: stop early once IPC and bandwidth 95% CIs shrink below this fraction of their means (0 = run the full region)")
 		realistic   = flag.Bool("invisimem-realistic", false, "derate InvisiMem to 2400MT/s")
 		list        = flag.Bool("list", false, "list workloads and modes")
 		printConfig = flag.Bool("print-config", false, "print the Table I configuration")
@@ -103,11 +106,16 @@ func run() error {
 		return nil
 	}
 
+	fidMode, err := sim.ParseFidelityMode(*fidelity)
+	if err != nil {
+		return err
+	}
 	opt := sim.Options{
 		Config:       cfg,
 		InstrPerCore: *instr,
 		WarmupInstr:  *warmup,
 		Seed:         *seed,
+		Fidelity:     sim.Fidelity{Mode: fidMode, TargetCI: *ciTarget},
 	}
 	if *scn != "" {
 		s, ok := scenario.ByName(*scn)
@@ -160,7 +168,12 @@ func run() error {
 		fmt.Printf("scenario          %v\n", opt.Scenario)
 	}
 	fmt.Printf("mode              %v\n", res.Mode)
-	fmt.Printf("total IPC         %.3f\n", res.IPC)
+	if est, ok := res.Estimates["ipc"]; ok {
+		fmt.Printf("fidelity          sampled (%d measurement windows)\n", est.Windows)
+		fmt.Printf("total IPC         %.3f ±%.3f (95%% CI)\n", est.Mean, est.CI95)
+	} else {
+		fmt.Printf("total IPC         %.3f\n", res.IPC)
+	}
 	fmt.Printf("per-core IPC     ")
 	for _, v := range res.PerCoreIPC {
 		fmt.Printf(" %.3f", v)
@@ -174,7 +187,11 @@ func run() error {
 	fmt.Printf("DRAM              %d reads, %d writes, row-hit %.1f%%\n",
 		res.DRAMReads, res.DRAMWrites, res.RowHitRate*100)
 	fmt.Printf("avg read latency  %.1f memory cycles\n", res.AvgReadLatency)
-	fmt.Printf("bus bandwidth     %.1f GB/s\n", res.BandwidthGBs)
+	if est, ok := res.Estimates["bandwidth_gbs"]; ok {
+		fmt.Printf("bus bandwidth     %.1f ±%.1f GB/s (95%% CI)\n", est.Mean, est.CI95)
+	} else {
+		fmt.Printf("bus bandwidth     %.1f GB/s\n", res.BandwidthGBs)
+	}
 	fmt.Printf("prefetches        %d\n", res.PrefetchesSent)
 	return nil
 }

@@ -21,6 +21,8 @@
 //	secddr-sweep -store sweeps.store -modes all                 # segment store backend
 //	secddr-sweep -server http://127.0.0.1:8080 -quick           # remote execution
 //	secddr-sweep -scenario thrash-one,phase-alternate -quick    # built-in scenarios
+//	secddr-sweep -fidelity sampled -ci-target 0.03 -quick       # interval sampling
+//	secddr-sweep -fidelity exact,sampled -workloads mcf         # cross both fidelities
 //	secddr-sweep -scenario-file examples/scenarios/quick.json   # manifest scenarios
 //
 // Scenario sweeps (built-in names via -scenario, or JSON manifests via
@@ -65,6 +67,8 @@ func run() error {
 		warmup     = flag.Uint64("warmup", 0, "override warmup instructions per core")
 		channels   = flag.Int("channels", 0, "override DDR channel count on every mode (power of two; default: each mode's Table 1 value)")
 		seed       = flag.Uint64("seed", 42, "base workload seed")
+		fidelity   = flag.String("fidelity", "", `comma-separated execution fidelities crossed into the grid: "exact", "sampled", or both (default: exact only, unchanged digests)`)
+		ciTarget   = flag.Float64("ci-target", 0, "sampled fidelity: stop each point early once IPC and bandwidth 95% CIs shrink below this fraction of their means")
 		seedPerJob = flag.Bool("seed-per-job", false, "derive a distinct deterministic seed per grid point")
 		workers    = flag.Int("workers", 0, "parallel simulations (default GOMAXPROCS)")
 		storeDir   = flag.String("store", "", "segment result store directory (preferred backend; overrides -checkpoint)")
@@ -97,6 +101,15 @@ func run() error {
 		Channels:     *channels,
 		Client:       *client,
 		Priority:     *priority,
+	}
+	if *fidelity == "" && *ciTarget > 0 {
+		*fidelity = "sampled" // a CI target only makes sense when sampling
+	}
+	if *fidelity != "" {
+		spec.Fidelity = &service.FidelitySpec{
+			Modes:    service.ParseList(*fidelity),
+			CITarget: *ciTarget,
+		}
 	}
 	if *scnFile != "" {
 		defs, err := scenario.LoadManifest(*scnFile)

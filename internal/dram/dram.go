@@ -174,6 +174,30 @@ func (c *Channel) NextRefresh(rank int) int64 {
 	return c.rank[rank].nextREF
 }
 
+// SkipRefreshTo advances every rank's refresh deadline past now in whole
+// tREFI steps, preserving each rank's staggered phase. The sampled
+// simulation mode calls it after a functional fast-forward jumps the
+// clock: the refreshes inside the skipped span are deemed to have happened
+// (the span carries no modeled timing for them to perturb), and without
+// the rebase the controller would issue a catch-up burst of back-to-back
+// REF commands that stalls the next measurement window with work the
+// fast-forwarded span already accounted for. Deadlines at or beyond now —
+// and disabled refresh — are untouched, so the call is idempotent.
+func (c *Channel) SkipRefreshTo(now int64) {
+	if !c.cfg.RefreshEnabled {
+		return
+	}
+	trefi := int64(c.t.TREFI)
+	for r := range c.rank {
+		rk := &c.rank[r]
+		if rk.nextREF >= now {
+			continue
+		}
+		missed := (now-rk.nextREF)/trefi + 1
+		rk.nextREF += missed * trefi
+	}
+}
+
 // EarliestIssue returns the earliest cycle >= now at which the command could
 // legally issue. It accounts for bank timing, rank constraints (tFAW,
 // refresh), the shared data bus for column commands, and the one-command-

@@ -12,6 +12,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"strings"
 
@@ -30,6 +31,14 @@ type Scale struct {
 	Seed         uint64
 	Workers      int
 	Workloads    []string // nil = all 29
+
+	// Fidelity selects the execution mode for every point: the zero
+	// value runs the exact cycle loop (figure-quality, unchanged
+	// digests); a sampled fidelity runs interval sampling and the
+	// normalized-figure emitters print each value with its propagated
+	// 95% confidence half-width. Sampled and exact points cache under
+	// distinct digests, so switching fidelity never aliases results.
+	Fidelity sim.Fidelity
 
 	// Store, when non-nil, is the harness's persistent result cache:
 	// figure re-runs skip every already-computed point and interrupted
@@ -99,6 +108,9 @@ func (s Scale) runGrid(profiles []trace.Profile, configs []namedConfig) (map[str
 		InstrPerCore: s.InstrPerCore,
 		WarmupInstr:  s.WarmupInstr,
 		Seed:         s.Seed,
+		// A single-fidelity axis keeps the "workload/label" keys
+		// unsuffixed, so figure lookups are fidelity-agnostic.
+		Fidelities: []sim.Fidelity{s.Fidelity},
 	}
 	outs, _, err := harness.Run(harness.Campaign{
 		Jobs:       grid.Jobs(),
@@ -116,6 +128,11 @@ func (s Scale) runGrid(profiles []trace.Profile, configs []namedConfig) (map[str
 type Series struct {
 	Label  string
 	Values map[string]float64 // workload -> normalized value
+	// CIs holds the 95% confidence half-width of each normalized value
+	// for sampled-fidelity runs (nil on exact runs). Both numerator and
+	// baseline are sampled estimates, so the ratio's relative CI is
+	// their relative CIs combined in quadrature.
+	CIs map[string]float64
 }
 
 // FigureResult is a complete reproduced figure.
@@ -164,7 +181,11 @@ func (f FigureResult) Format() string {
 	for _, w := range f.Workloads {
 		fmt.Fprintf(&b, "%-12s", w)
 		for _, s := range f.Series {
-			fmt.Fprintf(&b, " %22.3f", s.Values[w])
+			if ci, ok := s.CIs[w]; ok {
+				fmt.Fprintf(&b, " %22s", fmt.Sprintf("%.3f ±%.3f", s.Values[w], ci))
+			} else {
+				fmt.Fprintf(&b, " %22.3f", s.Values[w])
+			}
 		}
 		b.WriteByte('\n')
 	}
@@ -201,14 +222,38 @@ func normalizedFigure(name string, scale Scale, baseline namedConfig, configs []
 	for _, nc := range configs {
 		s := Series{Label: nc.Label, Values: make(map[string]float64, len(profiles))}
 		for _, p := range profiles {
-			base := results[p.Name+"/"+baseline.Label].IPC
-			if base > 0 {
-				s.Values[p.Name] = results[p.Name+"/"+nc.Label].IPC / base
+			baseRes := results[p.Name+"/"+baseline.Label]
+			res := results[p.Name+"/"+nc.Label]
+			if baseRes.IPC <= 0 {
+				continue
+			}
+			v := res.IPC / baseRes.IPC
+			s.Values[p.Name] = v
+			if ci, ok := ratioCI95(v, res, baseRes); ok {
+				if s.CIs == nil {
+					s.CIs = make(map[string]float64, len(profiles))
+				}
+				s.CIs[p.Name] = ci
 			}
 		}
 		fig.Series = append(fig.Series, s)
 	}
 	return fig, nil
+}
+
+// ratioCI95 propagates the 95% confidence half-widths of two sampled IPC
+// estimates onto their ratio: the windows are independent draws, so the
+// ratio's relative half-width is the operands' relative half-widths
+// combined in quadrature. Reports ok=false when either side ran exact.
+func ratioCI95(ratio float64, num, den sim.Result) (float64, bool) {
+	ne, nok := num.Estimates["ipc"]
+	de, dok := den.Estimates["ipc"]
+	if !nok || !dok || ne.Mean <= 0 || de.Mean <= 0 {
+		return 0, false
+	}
+	rn := ne.CI95 / ne.Mean
+	rd := de.CI95 / de.Mean
+	return ratio * math.Sqrt(rn*rn+rd*rd), true
 }
 
 // tdxBaseline is the normalization reference used throughout the paper's

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"secddr/internal/sim"
 )
 
 // report is the JSON document WriteJSON emits.
@@ -29,6 +31,7 @@ var csvHeader = []string{
 	"ipc", "llc_mpki", "llc_miss_rate", "meta_miss_rate", "meta_accesses",
 	"avg_read_latency", "row_hit_rate", "dram_reads", "dram_writes",
 	"bandwidth_gbs", "instructions", "cycles",
+	"ipc_ci95", "bandwidth_ci95", // empty on exact-fidelity points
 }
 
 // WriteCSV emits one row per outcome with the headline metrics, suitable
@@ -54,6 +57,7 @@ func WriteCSV(w io.Writer, outs []Outcome) error {
 			fmt.Sprintf("%.4f", r.BandwidthGBs),
 			fmt.Sprintf("%d", r.Instructions),
 			fmt.Sprintf("%d", r.Cycles),
+			ci95(r, "ipc"), ci95(r, "bandwidth_gbs"),
 		}
 		if err := cw.Write(row); err != nil {
 			return err
@@ -61,4 +65,14 @@ func WriteCSV(w io.Writer, outs []Outcome) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// ci95 renders a sampled point's 95% confidence half-width for one
+// metric, or "" when the point ran at exact fidelity (no estimates).
+func ci95(r sim.Result, metric string) string {
+	est, ok := r.Estimates[metric]
+	if !ok {
+		return ""
+	}
+	return fmt.Sprintf("%.6f", est.CI95)
 }

@@ -210,3 +210,66 @@ func TestProgressReporting(t *testing.T) {
 		}
 	}
 }
+
+// TestFidelityAxis covers the Grid fidelity axis end to end: key suffixing
+// only when the axis has multiple entries, distinct digests per fidelity
+// (so the cache never conflates a sampled row with an exact one), and one
+// shared warmup serving both fidelities of a point (Fidelity is outside
+// WarmupKey by design).
+func TestFidelityAxis(t *testing.T) {
+	mcf, _ := trace.ByName("mcf")
+	g := Grid{
+		Workloads: []trace.Profile{mcf},
+		Configs: []NamedConfig{
+			{Label: "secddr+ctr", Config: config.Table1(config.ModeSecDDRCTR)},
+		},
+		InstrPerCore: 40_000,
+		WarmupInstr:  10_000,
+		Seed:         42,
+		Fidelities: []sim.Fidelity{
+			{}, // exact
+			{Mode: sim.FidelitySampled, WindowInstr: 1500, PeriodInstr: 8000, WarmrunInstr: 3000},
+		},
+	}
+	jobs := g.Jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2", len(jobs))
+	}
+	if jobs[0].Key != "mcf/secddr+ctr/exact" || jobs[1].Key != "mcf/secddr+ctr/sampled" {
+		t.Fatalf("fidelity keys = %q, %q", jobs[0].Key, jobs[1].Key)
+	}
+	if jobs[0].Opt.Digest() == jobs[1].Opt.Digest() {
+		t.Fatal("exact and sampled points share a digest")
+	}
+	if jobs[0].Opt.WarmupKey() != jobs[1].Opt.WarmupKey() {
+		t.Fatal("exact and sampled points do not share a warmup group")
+	}
+
+	before := sim.WarmupRuns()
+	outs, stats, err := Run(Campaign{Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta := sim.WarmupRuns() - before; delta != 1 {
+		t.Errorf("warmups = %d, want 1 shared across fidelities", delta)
+	}
+	if stats.Executed != 2 {
+		t.Errorf("Executed = %d, want 2", stats.Executed)
+	}
+	if outs[0].Result.Estimates != nil {
+		t.Errorf("exact outcome has estimates: %+v", outs[0].Result.Estimates)
+	}
+	if est, ok := outs[1].Result.Estimates["ipc"]; !ok || est.Windows < 2 {
+		t.Errorf("sampled outcome lacks a usable ipc estimate: %+v", outs[1].Result.Estimates)
+	}
+
+	// A single-entry axis keeps legacy keys.
+	g.Fidelities = g.Fidelities[:1]
+	if k := g.Jobs()[0].Key; k != "mcf/secddr+ctr" {
+		t.Errorf("single-fidelity key = %q, want unsuffixed", k)
+	}
+	g.Fidelities = nil
+	if k := g.Jobs()[0].Key; k != "mcf/secddr+ctr" {
+		t.Errorf("no-axis key = %q, want unsuffixed", k)
+	}
+}

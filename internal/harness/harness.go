@@ -77,6 +77,16 @@ type Grid struct {
 	WarmupInstr  uint64
 	Seed         uint64
 
+	// Fidelities is the execution-fidelity axis: every (workload, config)
+	// point is swept once per entry. Empty means one exact pass with keys
+	// unchanged, as does a single exact entry; with more than one entry
+	// keys gain a "/<fidelity label>" suffix so exact and sampled rows of
+	// the same point stay distinct. Fidelity is part of sim.Options.Digest,
+	// so the cache and the fork scheduler already treat differing
+	// fidelities as distinct points — while WarmupKey excludes it, so a
+	// sampled and an exact run of the same point still share one warmup.
+	Fidelities []sim.Fidelity
+
 	// SeedPerJob derives a distinct deterministic seed for every job from
 	// Seed and the job key (DeriveSeed). The paper's figures keep one shared
 	// seed so every configuration sees the identical address stream; sweeps
@@ -85,19 +95,30 @@ type Grid struct {
 }
 
 // Jobs expands the grid in deterministic workload-major order: profile
-// jobs first, then scenario jobs, each workload crossed with every config.
+// jobs first, then scenario jobs, each workload crossed with every config,
+// each of those with every fidelity.
 func (g Grid) Jobs() []Job {
-	jobs := make([]Job, 0, (len(g.Workloads)+len(g.Scenarios))*len(g.Configs))
+	fids := g.Fidelities
+	if len(fids) == 0 {
+		fids = []sim.Fidelity{{}} // exact
+	}
+	jobs := make([]Job, 0, (len(g.Workloads)+len(g.Scenarios))*len(g.Configs)*len(fids))
 	add := func(name string, opt sim.Options) {
 		for _, nc := range g.Configs {
-			key := name + "/" + nc.Label
-			seed := g.Seed
-			if g.SeedPerJob {
-				seed = DeriveSeed(g.Seed, key)
+			for _, fid := range fids {
+				key := name + "/" + nc.Label
+				if len(fids) > 1 {
+					key += "/" + fid.Label()
+				}
+				seed := g.Seed
+				if g.SeedPerJob {
+					seed = DeriveSeed(g.Seed, key)
+				}
+				opt.Config = nc.Config
+				opt.Seed = seed
+				opt.Fidelity = fid
+				jobs = append(jobs, Job{Key: key, Opt: opt})
 			}
-			opt.Config = nc.Config
-			opt.Seed = seed
-			jobs = append(jobs, Job{Key: key, Opt: opt})
 		}
 	}
 	base := sim.Options{InstrPerCore: g.InstrPerCore, WarmupInstr: g.WarmupInstr}

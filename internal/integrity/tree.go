@@ -20,6 +20,11 @@ type Tree struct {
 	dataLines  int64
 	levels     []level // 0 = leaves
 	rootOnChip bool
+	// leafShift is log2(lineBytes*perLeaf) when both are powers of two
+	// (every paper configuration), letting LeafIndex run as one shift on
+	// hot paths; shiftOK gates the fallback double divide.
+	leafShift uint
+	shiftOK   bool
 }
 
 type level struct {
@@ -50,6 +55,12 @@ func New(dataBytes int64, lineBytes, perLeaf, arity int, metaBase uint64) (*Tree
 		lineBytes: lineBytes,
 		perLeaf:   perLeaf,
 		dataLines: dataBytes / int64(lineBytes),
+	}
+	if span := uint64(lineBytes) * uint64(perLeaf); span&(span-1) == 0 {
+		t.shiftOK = true
+		for s := span; s > 1; s >>= 1 {
+			t.leafShift++
+		}
 	}
 	n := (t.dataLines + int64(perLeaf) - 1) / int64(perLeaf)
 	base := metaBase
@@ -94,6 +105,22 @@ func (t *Tree) LeafAddr(dataAddr uint64) uint64 {
 	leafIdx := lineIdx / uint64(t.perLeaf)
 	return t.levels[0].base + leafIdx*uint64(t.lineBytes)
 }
+
+// LeafIndex returns the index of the counter leaf covering dataAddr —
+// the quantity WalkAddrs derives every level from, so two data addresses
+// with equal LeafIndex have identical walks. Always < NodeCount(0) for
+// in-range data addresses.
+func (t *Tree) LeafIndex(dataAddr uint64) int64 {
+	if t.shiftOK {
+		return int64(dataAddr >> t.leafShift)
+	}
+	return int64(dataAddr / uint64(t.lineBytes) / uint64(t.perLeaf))
+}
+
+// LeafShift returns the shift s with LeafIndex(a) == a>>s, and whether the
+// geometry admits one (lineBytes*perLeaf a power of two). Callers on hot
+// paths cache it to dedupe by leaf group without a divide per address.
+func (t *Tree) LeafShift() (uint, bool) { return t.leafShift, t.shiftOK }
 
 // WalkAddrs returns the metadata line addresses a verification walk touches
 // for dataAddr, leaf first, ending just below the on-chip root. The slice is

@@ -8,5 +8,5 @@ import (
 )
 
 func TestClonecheck(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(), clonecheck.Analyzer, "a", "forksys")
+	analysistest.Run(t, analysistest.TestData(), clonecheck.Analyzer, "a", "forksys", "sampstate")
 }

@@ -1,0 +1,55 @@
+// Package sampstate exercises clonecheck on the interval-sampling state
+// shape: the sampled loop's per-window accumulators ride simulator forks
+// (warmed snapshots fork into sampled points), so a forgotten slice or
+// estimator pointer would silently share window statistics between a
+// parent and its forks. Mirrors internal/sim/sampled.go's sampState.
+package sampstate
+
+// estimator stands in for stats.Estimator: scalar-only, rides the
+// wholesale copy.
+type estimator struct {
+	n        uint64
+	mean, m2 float64
+}
+
+// coldSamp forgets its per-core slices: after *n = *s the fork's winStart
+// and perCore alias the parent's, and the next window recorded on either
+// side corrupts both. clonecheck must fail the build on this shape.
+type coldSamp struct {
+	windows  int
+	ipc      estimator
+	winStart []int64
+	perCore  []estimator
+}
+
+func (s *coldSamp) Clone() *coldSamp { // want `Clone method of coldSamp does not handle reference-bearing field winStart`
+	n := new(coldSamp)
+	*n = *s
+	n.perCore = append([]estimator(nil), s.perCore...)
+	return n
+}
+
+// warmSamp copies every reference-bearing field; the estimators and
+// counters ride the wholesale copy.
+type warmSamp struct {
+	windows  int
+	clamped  bool
+	ipc, bw  estimator
+	winStart []int64
+	winFin   []int64
+	perCore  []estimator
+	agg      map[string]uint64
+}
+
+func (s *warmSamp) Clone() *warmSamp {
+	n := new(warmSamp)
+	*n = *s
+	n.winStart = append([]int64(nil), s.winStart...)
+	n.winFin = append([]int64(nil), s.winFin...)
+	n.perCore = append([]estimator(nil), s.perCore...)
+	n.agg = make(map[string]uint64, len(s.agg))
+	for k, v := range s.agg {
+		n.agg[k] = v
+	}
+	return n
+}

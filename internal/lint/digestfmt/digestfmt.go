@@ -31,7 +31,9 @@ var Analyzer = &analysis.Analyzer{
 
 // canonicalNames are function names whose output is canonical by
 // convention in this module.
-var canonicalNames = map[string]bool{"Summary": true, "Digest": true, "WarmupKey": true}
+// Label joined the list with the fidelity axis: harness job keys embed
+// Fidelity.Label(), so Label output is digest-adjacent canonical bytes.
+var canonicalNames = map[string]bool{"Summary": true, "Digest": true, "WarmupKey": true, "Label": true}
 
 func run(pass *analysis.Pass) error {
 	for _, file := range pass.Files {

@@ -8,5 +8,5 @@ import (
 )
 
 func TestDigestfmt(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(), digestfmt.Analyzer, "a")
+	analysistest.Run(t, analysistest.TestData(), digestfmt.Analyzer, "a", "fidelity")
 }

@@ -1,0 +1,67 @@
+// Package fidelity exercises digestfmt on a Fidelity-style execution-mode
+// type: a Stringer whose output folds into the options digest, plus Label
+// functions feeding harness job keys. Mirrors internal/sim/fidelity.go.
+package fidelity
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Mode is an enum with a pinned, all-explicit String: clean.
+type Mode int
+
+func (m Mode) String() string {
+	if m == 0 {
+		return "exact"
+	}
+	return "sampled"
+}
+
+// Fidelity carries a float knob (the CI target), so any %v/%+v rendering
+// of it inside a canonical producer is a latent digest instability.
+type Fidelity struct {
+	Mode     Mode
+	Window   uint64
+	TargetCI float64
+}
+
+// String builds the canonical digest form with strconv only: clean. This
+// is the shape internal/sim/fidelity.go must keep.
+func (f Fidelity) String() string {
+	return f.Mode.String() +
+		" w" + strconv.FormatUint(f.Window, 10) +
+		" ci" + strconv.FormatFloat(f.TargetCI, 'g', -1, 64)
+}
+
+// rawFidelity is the same shape without a String method — what sim's
+// Fidelity would be if its Stringer were deleted. Rendering it wholesale
+// inside a canonical producer leans on fmt's reflection walk for the
+// float knob, flagged.
+type rawFidelity struct {
+	Window   uint64
+	TargetCI float64
+}
+
+func Summary(f rawFidelity) string {
+	return fmt.Sprintf("fid %+v", f) // want `\+v applied to rawFidelity \(contains a float\)`
+}
+
+// goodSummary relies on the Stringer: fmt trusts String(), clean even
+// though the struct carries a float.
+func goodSummary(f Fidelity) string {
+	return fmt.Sprintf("fid %v", f)
+}
+
+// Label is canonical by name since the fidelity axis landed: harness job
+// keys embed it, so a %v on the raw CI target is flagged there too.
+func Label(target float64) string {
+	return fmt.Sprintf("ci%v", target) // want `%v applied to float64 \(contains a float\)`
+}
+
+// Label on Fidelity mirrors sim.Fidelity.Label: delegating to the pinned
+// enum Stringer keeps it clean even though Label is a canonical name, and
+// %v on a fmt.Stringer value is trusted.
+func (f Fidelity) Label() string {
+	return fmt.Sprintf("%v", f.Mode)
+}

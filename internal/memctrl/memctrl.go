@@ -208,6 +208,19 @@ func (c *Controller) Idle() bool {
 	return len(c.readQ) == 0 && len(c.writeQ) == 0 && c.pending.Len() == 0
 }
 
+// ReadsIdle reports whether all reads have completed and been delivered;
+// queued writes are allowed to remain. A write-queue entry carries no
+// timing-relevant state — scheduling considers only bank/row state, writes
+// never enter the completion heap, and Arrival feeds read latency stats
+// only — so a quiescent-except-writes controller tolerates an external
+// clock jump without stranding in-flight work. The sampled simulation
+// mode's fast-forward relies on this to preserve steady-state write-drain
+// pressure across skipped spans instead of flushing the queue and
+// re-synchronizing drain bursts with its measurement windows.
+func (c *Controller) ReadsIdle() bool {
+	return len(c.readQ) == 0 && c.pending.Len() == 0
+}
+
 // Tick advances the controller by one memory cycle: it returns reads whose
 // data completed at or before now, then issues at most one DRAM command.
 // The returned slice is only valid until the next Tick call.

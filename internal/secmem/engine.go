@@ -86,6 +86,15 @@ type Engine struct {
 	readAdder int64 // fixed addition to the data arrival (XTS, InvisiMem)
 	hasWalk   bool  // counter and/or tree metadata accesses exist
 	walkBuf   []uint64
+	// primeSeen dedupes PrimeMeta by counter-leaf index: one walk per
+	// leaf group per priming pass, tracked as a bitmap over the tree's
+	// leaf level (a map here costs more than the walks it skips). Only
+	// ever populated during resume (PrimeMeta's sole caller), dead
+	// weight afterwards. leafShift caches the tree's leaf shift so the
+	// inlined PrimeMeta fast path indexes the bitmap without a divide;
+	// it is valid whenever primeSeen is non-nil.
+	primeSeen []uint64
+	leafShift uint8
 
 	pending map[chanReq]pendingRef
 	backlog []backlogEntry
@@ -195,6 +204,12 @@ func (e *Engine) channelOf(addr uint64) int {
 // MetaCache exposes the metadata cache (nil for XTS-without-tree modes).
 func (e *Engine) MetaCache() *cache.Cache { return e.metaCache }
 
+// AdoptMetaCache replaces the engine's metadata cache with c, which must
+// have the geometry the engine's configuration describes. Resume uses it to
+// install an already-primed cache cloned from a warmed snapshot's memo
+// instead of re-running the priming pass over the resident LLC.
+func (e *Engine) AdoptMetaCache(c *cache.Cache) { e.metaCache = c }
+
 // CryptoMemCycles returns the crypto latency in memory-clock cycles.
 func (e *Engine) CryptoMemCycles() int64 { return e.cryptoMem }
 
@@ -249,6 +264,27 @@ func (e *Engine) walkWrite(addr uint64, now int64) {
 		// The fetch itself: fire-and-forget read (RMW latency is off the
 		// core's critical path, but the traffic is real).
 		e.issue(nil, a, kindMeta, false, now)
+	}
+}
+
+// FuncAccess applies the metadata-walk effect of one data access to the
+// metadata cache without generating memory traffic: the same
+// walk-until-cached-ancestor probe as walkReads/walkWrite, with misses
+// installed (and dirtied, for writes) via Fill. The sampled simulation
+// mode calls it during functional fast-forward so the metadata cache's
+// contents and recency track the skipped span; victim writebacks and
+// fetches carry no timing there, so no requests are issued and the
+// traffic counters (MetaReads, MetaWritebacks) are untouched — only the
+// cache's own access/miss counters move, as any cache probe does.
+func (e *Engine) FuncAccess(addr uint64, write bool) {
+	if !e.hasWalk {
+		return
+	}
+	for _, a := range e.walkAddrs(addr) {
+		if e.metaCache.Access(a, write) {
+			break // cached ancestor: walk stops here, as in detailed mode
+		}
+		e.metaCache.Fill(a, write)
 	}
 }
 
@@ -430,6 +466,23 @@ func (e *Engine) Idle() bool {
 	}
 	for _, ctl := range e.ctls {
 		if !ctl.Idle() {
+			return false
+		}
+	}
+	return true
+}
+
+// IdleExceptWrites reports whether everything except queued controller
+// writes has drained: empty backlog, no in-flight transactions, no
+// undelivered completions, and every controller reads-idle. See
+// memctrl.Controller.ReadsIdle for why queued writes may safely persist
+// across a clock jump.
+func (e *Engine) IdleExceptWrites() bool {
+	if len(e.backlog) != 0 || len(e.pending) != 0 || e.ready.Len() != 0 {
+		return false
+	}
+	for _, ctl := range e.ctls {
+		if !ctl.ReadsIdle() {
 			return false
 		}
 	}

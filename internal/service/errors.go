@@ -39,6 +39,15 @@ var (
 	// was fenced off (another replica bumped the epoch); the replica
 	// demotes itself.
 	ErrLeaseLost = errors.New("service: leader lease lost")
+
+	// ErrUnsupportedFidelity rejects a sweep spec whose fidelity block
+	// asks for something this server's simulator version does not know —
+	// an unknown fidelity mode name, a fidelity field added by a newer
+	// build, or knobs without a mode to apply them to. HTTP 400. Honoring
+	// the digest contract means never silently dropping a field that
+	// shapes results: the client must either downgrade its request or
+	// find a newer server.
+	ErrUnsupportedFidelity = errors.New("service: unsupported fidelity")
 )
 
 // NotLeaderError is ErrNotLeader plus a redirect hint: the URL of the
@@ -60,10 +69,11 @@ func (e *NotLeaderError) Is(target error) bool { return target == ErrNotLeader }
 // Error codes carried in HTTP error bodies (wire.go apiError). Keep in
 // sync with codeToError below.
 const (
-	codeShuttingDown = "shutting_down"
-	codeQuota        = "quota_exceeded"
-	codeUnknownSweep = "unknown_sweep"
-	codeNotLeader    = "not_leader"
+	codeShuttingDown        = "shutting_down"
+	codeQuota               = "quota_exceeded"
+	codeUnknownSweep        = "unknown_sweep"
+	codeNotLeader           = "not_leader"
+	codeUnsupportedFidelity = "unsupported_fidelity"
 )
 
 // errorCode maps an error to its wire code ("" for untyped errors).
@@ -77,6 +87,8 @@ func errorCode(err error) string {
 		return codeUnknownSweep
 	case errors.Is(err, ErrNotLeader):
 		return codeNotLeader
+	case errors.Is(err, ErrUnsupportedFidelity):
+		return codeUnsupportedFidelity
 	}
 	return ""
 }
@@ -97,6 +109,8 @@ func codeToError(code, msg, leader string) error {
 			return fmt.Errorf("service: server: %s: %w", msg, &NotLeaderError{Leader: leader})
 		}
 		return wrapSentinel(ErrNotLeader, msg)
+	case codeUnsupportedFidelity:
+		return wrapSentinel(ErrUnsupportedFidelity, msg)
 	}
 	return nil
 }

@@ -884,6 +884,23 @@ func httpTypedError(w http.ResponseWriter, status int, err error) {
 	json.NewEncoder(w).Encode(body)
 }
 
+// decodeSpec decodes a sweep spec body. Typed errors (a fidelity block
+// this build cannot honor, surfaced by FidelitySpec.UnmarshalJSON through
+// the decoder) pass through so httpTypedError can attach their wire code;
+// everything else gets the generic invalid-spec wrapper.
+func decodeSpec(r *http.Request) (Spec, error) {
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		if errors.Is(err, ErrUnsupportedFidelity) {
+			return Spec{}, err
+		}
+		return Spec{}, fmt.Errorf("invalid sweep spec: %v", err)
+	}
+	return spec, nil
+}
+
 // submitStatus maps a submission error to its HTTP status.
 func submitStatus(err error) int {
 	switch {
@@ -896,11 +913,9 @@ func submitStatus(err error) int {
 }
 
 func (s *Server) handleSubmitKeyed(w http.ResponseWriter, r *http.Request) {
-	var spec Spec
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid sweep spec: %v", err)
+	spec, err := decodeSpec(r)
+	if err != nil {
+		httpTypedError(w, http.StatusBadRequest, err)
 		return
 	}
 	sw, attached, err := s.SubmitKeyed(r.PathValue("key"), spec)
@@ -925,11 +940,9 @@ func (s *Server) handleSubmitKeyed(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var spec Spec
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid sweep spec: %v", err)
+	spec, err := decodeSpec(r)
+	if err != nil {
+		httpTypedError(w, http.StatusBadRequest, err)
 		return
 	}
 	sw, err := s.Submit(spec)

@@ -7,6 +7,7 @@
 package service
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -17,6 +18,7 @@ import (
 	"secddr/internal/experiments"
 	"secddr/internal/harness"
 	"secddr/internal/scenario"
+	"secddr/internal/sim"
 	"secddr/internal/trace"
 )
 
@@ -59,6 +61,15 @@ type Spec struct {
 	// (must be a power of two).
 	Channels int `json:"channels,omitempty"`
 
+	// Fidelity selects execution fidelity (exact, sampled, or both as a
+	// grid axis) and the sampled mode's knobs. Nil means exact-only with
+	// unchanged job keys, and marshals to nothing — pre-fidelity specs
+	// keep their DefaultKey and SweepID. A fidelity block carrying fields
+	// this server's simulator version does not know is rejected with
+	// ErrUnsupportedFidelity rather than silently dropped: a dropped knob
+	// would change what the digests mean without changing the digests.
+	Fidelity *FidelitySpec `json:"fidelity,omitempty"`
+
 	// Client names the submitter for quota accounting and fair
 	// scheduling (the queue round-robins across clients); empty means
 	// the anonymous client. It does not affect job digests, so two
@@ -68,6 +79,68 @@ type Spec struct {
 	// before lower ones, regardless of submission order. Default 0;
 	// negative deprioritizes. It does not affect job digests.
 	Priority int `json:"priority,omitempty"`
+}
+
+// FidelitySpec is the wire form of the fidelity axis. Modes names the
+// fidelities to sweep ("exact", "sampled"); empty means exact-only. The
+// remaining fields tune sampled entries (zero keeps the simulator
+// default) and are ignored by exact ones.
+type FidelitySpec struct {
+	Modes        []string `json:"modes,omitempty"`
+	WindowInstr  uint64   `json:"window_instr,omitempty"`
+	PeriodInstr  uint64   `json:"period_instr,omitempty"`
+	WarmrunInstr uint64   `json:"warmrun_instr,omitempty"`
+	CITarget     float64  `json:"ci_target,omitempty"`
+}
+
+// UnmarshalJSON rejects fidelity fields this build does not know with
+// ErrUnsupportedFidelity. The top-level spec decoder's
+// DisallowUnknownFields cannot see inside types with their own
+// unmarshaler, and its generic "unknown field" error would hide the one
+// actionable fact: the client asked for a fidelity feature this server's
+// simulator version cannot honor.
+func (f *FidelitySpec) UnmarshalJSON(data []byte) error {
+	type plain FidelitySpec // no methods: avoids recursing into this unmarshaler
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var p plain
+	if err := dec.Decode(&p); err != nil {
+		if strings.Contains(err.Error(), "unknown field") {
+			return fmt.Errorf("%w: %v", ErrUnsupportedFidelity, err)
+		}
+		return err
+	}
+	*f = FidelitySpec(p)
+	return nil
+}
+
+// Fidelities expands the block into the harness axis. Unknown mode names
+// are unsupported fidelities, not typos: "sampled" itself was once a name
+// only newer builds knew.
+func (f *FidelitySpec) Fidelities() ([]sim.Fidelity, error) {
+	if f == nil {
+		return nil, nil
+	}
+	var out []sim.Fidelity
+	for _, name := range f.Modes {
+		mode, err := sim.ParseFidelityMode(strings.TrimSpace(name))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrUnsupportedFidelity, err)
+		}
+		fid := sim.Fidelity{Mode: mode}
+		if mode == sim.FidelitySampled {
+			fid.WindowInstr = f.WindowInstr
+			fid.PeriodInstr = f.PeriodInstr
+			fid.WarmrunInstr = f.WarmrunInstr
+			fid.TargetCI = f.CITarget
+		}
+		out = append(out, fid)
+	}
+	if len(out) == 0 && (f.WindowInstr != 0 || f.PeriodInstr != 0 || f.WarmrunInstr != 0 || f.CITarget != 0) {
+		// Knobs without a sampled mode would be silently inert.
+		return nil, fmt.Errorf("%w: fidelity knobs set but no modes named", ErrUnsupportedFidelity)
+	}
+	return out, nil
 }
 
 // DefaultKey derives a deterministic sweep key from the spec itself, so
@@ -160,6 +233,10 @@ func (sp Spec) Grid() (harness.Grid, error) {
 	if err != nil {
 		return harness.Grid{}, err
 	}
+	fids, err := sp.Fidelity.Fidelities()
+	if err != nil {
+		return harness.Grid{}, fmt.Errorf("service: %w", err)
+	}
 
 	scale := experiments.DefaultScale()
 	if sp.Quick {
@@ -184,6 +261,7 @@ func (sp Spec) Grid() (harness.Grid, error) {
 		WarmupInstr:  scale.WarmupInstr,
 		Seed:         seed,
 		SeedPerJob:   sp.SeedPerJob,
+		Fidelities:   fids,
 	}, nil
 }
 

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"secddr/internal/config"
+	"secddr/internal/trace"
+)
+
+// TestResultJSONBackCompat pins the exact-run Result encoding to its
+// pre-fidelity (v2) shape, byte for byte. The Estimates field is new in
+// v3 and must vanish entirely from exact results — resultstore rows,
+// harness checkpoints, and figure pipelines diff these encodings, and a
+// spurious "estimates" key (even an empty one) would churn every stored
+// exact row.
+func TestResultJSONBackCompat(t *testing.T) {
+	r := Result{
+		Workload:        "mcf",
+		Mode:            config.ModeSecDDRCTR,
+		IPC:             1.25,
+		PerCoreIPC:      []float64{0.25, 0.5, 0.25, 0.25},
+		Instructions:    160000,
+		Cycles:          512000,
+		LLCMPKI:         31.5,
+		LLCMissRate:     0.42,
+		MetaMissRate:    0.125,
+		MetaAccesses:    5040,
+		MetaMemReads:    630,
+		AvgReadLatency:  86.5,
+		RowHitRate:      0.625,
+		DRAMReads:       5670,
+		DRAMWrites:      2268,
+		BandwidthGBs:    14.5,
+		PrefetchesSent:  1134,
+		WritebacksToMem: 2268,
+		IPCClamped:      false,
+	}
+	got, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The v2 golden encoding, recorded before Fidelity/Estimates existed.
+	// If this breaks, an exact run's wire shape changed — that is a
+	// breaking change for every stored result, not a test to re-record
+	// casually.
+	const golden = `{"Workload":"mcf","Mode":"secddr+ctr","IPC":1.25,` +
+		`"PerCoreIPC":[0.25,0.5,0.25,0.25],"Instructions":160000,` +
+		`"Cycles":512000,"LLCMPKI":31.5,"LLCMissRate":0.42,` +
+		`"MetaMissRate":0.125,"MetaAccesses":5040,"MetaMemReads":630,` +
+		`"AvgReadLatency":86.5,"RowHitRate":0.625,"DRAMReads":5670,` +
+		`"DRAMWrites":2268,"BandwidthGBs":14.5,"PrefetchesSent":1134,` +
+		`"WritebacksToMem":2268,"IPCClamped":false}`
+	if string(got) != golden {
+		t.Errorf("exact Result encoding drifted from v2:\ngot:    %s\ngolden: %s", got, golden)
+	}
+}
+
+// TestResultJSONEstimatesRoundTrip: sampled results carry the estimates
+// block, it survives a round trip, and exact runs of the simulator never
+// emit the key.
+func TestResultJSONEstimatesRoundTrip(t *testing.T) {
+	p, _ := trace.ByName("mcf")
+	opt := Options{
+		Config:       config.Table1(config.ModeSecDDRCTR),
+		Workload:     p,
+		InstrPerCore: 40_000,
+		WarmupInstr:  20_000,
+		Seed:         42,
+	}
+	exact, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	je, err := json.Marshal(exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(je), `"estimates"`) {
+		t.Errorf("exact run emitted an estimates key: %s", je)
+	}
+
+	opt.Fidelity = testFidelity()
+	sampled, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := json.Marshal(sampled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(js), `"estimates"`) {
+		t.Fatalf("sampled run emitted no estimates key: %s", js)
+	}
+	var back Result
+	if err := json.Unmarshal(js, &back); err != nil {
+		t.Fatal(err)
+	}
+	est, ok := back.Estimates["ipc"]
+	if !ok || est.Windows < 2 || est.CI95 <= 0 {
+		t.Errorf("ipc estimate did not survive the round trip: %+v", back.Estimates)
+	}
+}

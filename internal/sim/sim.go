@@ -36,6 +36,13 @@ type Options struct {
 	Seed         uint64
 	MSHRsPerCore int   // outstanding LLC misses per core (default 16)
 	MaxCycles    int64 // safety cap on CPU cycles (default 400x instr target)
+	// Fidelity selects exact (default) or sampled execution of the
+	// measured region (see fidelity.go). It is canonical — part of
+	// Summary/Digest — so sampled and exact runs of the same point cache
+	// separately. It is deliberately excluded from WarmupKey: warmup always
+	// runs the detailed loop, so sampled runs fork from the same warmed
+	// snapshots exact runs do.
+	Fidelity Fidelity
 }
 
 // WorkloadName names what the run executes: the scenario name for
@@ -52,7 +59,13 @@ func (o Options) WorkloadName() string {
 // so equivalent runs share one canonical form. The derived cycle cap covers
 // warmup as well as the measured region: warmup instructions burn cycles
 // like any others, so a cap derived from InstrPerCore alone would spuriously
-// kill warmup-heavy runs.
+// kill warmup-heavy runs. The same cap also covers sampled runs' functional
+// fast-forward spans: fast-forwarding is wall-clock cheap but advances the
+// simulated clock by the estimated cycles of the skipped span, and
+// InstrPerCore counts fast-forwarded instructions too, so the derived cap
+// bounds the full estimated-cycle extent of a sampled run — a cap derived
+// from detailed windows alone would spuriously kill long sampled runs
+// (TestSampledRunWithinDefaultMaxCycles pins this).
 func (o Options) withDefaults() Options {
 	if o.MSHRsPerCore == 0 {
 		o.MSHRsPerCore = 16
@@ -60,6 +73,7 @@ func (o Options) withDefaults() Options {
 	if o.MaxCycles == 0 {
 		o.MaxCycles = int64(o.InstrPerCore+o.WarmupInstr) * 400
 	}
+	o.Fidelity = o.Fidelity.withDefaults()
 	return o
 }
 
@@ -98,7 +112,12 @@ var debugHook func(*system)
 // warmup), cores freeze individually at their warmup target, and the
 // metadata cache is functionally primed from the resident LLC at the start
 // of the measured region.
-const simVersion = 2
+//
+// v3: Options grows the canonical Fidelity block (exact vs sampled
+// execution of the measured region). Exact-mode results are unchanged, but
+// the block renders into every Summary, so all digests move once and
+// cached sweeps re-execute one time.
+const simVersion = 3
 
 // Summary returns a canonical one-line description of everything that
 // determines this run's result. Two Options with equal summaries produce
@@ -139,6 +158,14 @@ type Result struct {
 	BandwidthGBs    float64 // average data-bus bandwidth
 	PrefetchesSent  uint64
 	WritebacksToMem uint64
+
+	// Estimates carries per-metric mean ± 95% CI for sampled runs — one
+	// entry per metric with at least one measurement window ("ipc",
+	// "bandwidth_gbs", "llc_mpki", "avg_read_latency", "row_hit_rate",
+	// "meta_miss_rate"). Exact runs leave it nil, and omitempty keeps
+	// their JSON byte-identical to the pre-fidelity encoding (golden test
+	// in result_json_test.go), so existing stores and diffs don't churn.
+	Estimates map[string]Estimate `json:"estimates,omitempty"`
 
 	// IPCClamped records that at least one core crossed warmup and its
 	// retirement target in the same cycle, leaving a zero-cycle measurement
@@ -235,9 +262,24 @@ type system struct {
 	mshrRejects []uint64
 	prof        *profState
 
+	// samp, when non-nil, is the sampled loop's cold state (sampled.go):
+	// per-window estimators, the current window's boundaries, and the
+	// cycles-per-instruction the fast-forward clock jumps extrapolate
+	// from. Behind one pointer for the same reason prof is — exact runs
+	// pay a single word. Armed by runSampled after resume.
+	samp *sampState
+
 	// tl, when non-nil, records a Perfetto run timeline (RunInstrumented).
 	// Per-run instrumentation: a fork never inherits it.
 	tl *obs.Timeline
+
+	// primedMeta, when set by Warmed.Fork before resume, is the snapshot's
+	// memoized functionally-primed metadata cache for this measured
+	// configuration; resume adopts a clone of it instead of re-running the
+	// priming pass over the resident LLC. Cleared by resume; never set on
+	// cold runs or on the warmed template, so priming behavior (and every
+	// result byte) is identical either way.
+	primedMeta *cache.Cache
 }
 
 // snapshot freezes the measurement-relevant counters at warmup completion
@@ -556,10 +598,20 @@ func runSystem(opt Options, tickLoop bool) (*system, error) {
 	if err := s.resume(opt); err != nil {
 		return nil, err
 	}
-	if err := s.runMeasured(); err != nil {
+	if err := s.runMeasuredRegion(); err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+// runMeasuredRegion dispatches the measured region to the driver the
+// options' fidelity selects: the exact loop, or the interval-sampling loop
+// (sampled.go). Both start from the identical resumed state.
+func (s *system) runMeasuredRegion() error {
+	if s.opt.Fidelity.Sampled() {
+		return s.runSampled()
+	}
+	return s.runMeasured()
 }
 
 // warmSystem validates opt, builds the system under the canonical warmup
@@ -573,6 +625,9 @@ func warmSystem(opt Options, tickLoop bool) (*system, error) {
 	}
 	opt = opt.withDefaults()
 	if err := opt.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.Fidelity.validate(); err != nil {
 		return nil, err
 	}
 	if !opt.Scenario.IsZero() {
@@ -714,6 +769,12 @@ func (s *system) drained() bool {
 // which is what makes a fork identical to a cold run.
 func (s *system) resume(opt Options) error {
 	opt = opt.withDefaults()
+	// Re-validated here (not only in warmSystem) because a fork resumes
+	// under options the warmup never saw — fidelity differs freely within
+	// one warmup group.
+	if err := opt.Fidelity.validate(); err != nil {
+		return err
+	}
 	engine, err := secmem.NewEngine(opt.Config)
 	if err != nil {
 		return err
@@ -726,9 +787,19 @@ func (s *system) resume(opt Options) error {
 	s.engine = engine
 	s.opt = opt
 	if engine.MetaCache() != nil {
-		s.llc.VisitResident(func(addr uint64, dirty bool) {
-			engine.PrimeMeta(addr)
-		})
+		if s.primedMeta != nil {
+			// The warmed snapshot already served this measured
+			// configuration: the priming pass below is a pure function of
+			// the (immutable) resident LLC and the engine geometry, so its
+			// output was memoized and adopting a clone is byte-identical
+			// to re-running it.
+			engine.AdoptMetaCache(s.primedMeta.Clone())
+			s.primedMeta = nil
+		} else {
+			s.llc.VisitResident(func(addr uint64, dirty bool) {
+				engine.PrimeMeta(addr)
+			})
+		}
 	}
 	s.memEventAt = 0
 	s.memEventStale = true
@@ -820,6 +891,13 @@ func (s *system) runMeasured() error {
 }
 
 func (s *system) collect() Result {
+	// A sampled run that recorded at least one full window reports
+	// estimator means; a degenerate sampled run (e.g. warmup overshoot
+	// consumed the whole measured region before a window could complete)
+	// falls through to the exact path, which handles zero-width windows.
+	if s.samp != nil && s.samp.windows {
+		return s.collectSampled()
+	}
 	r := Result{
 		Workload: s.opt.WorkloadName(),
 		Mode:     s.opt.Config.Security.Mode,

@@ -1,0 +1,86 @@
+package stats
+
+import "math"
+
+// Estimator accumulates scalar samples online (Welford's algorithm) and
+// reports their mean and a 95% confidence interval for it. The sampled
+// simulation mode feeds it one value per measurement window; the harness
+// and figure emitters surface the result as "mean ±ci". The zero value is
+// an empty estimator, ready for use. Not safe for concurrent use.
+type Estimator struct {
+	n    uint64
+	mean float64
+	m2   float64 // sum of squared deviations from the running mean
+}
+
+// Add records one sample.
+func (e *Estimator) Add(x float64) {
+	e.n++
+	d := x - e.mean
+	e.mean += d / float64(e.n)
+	e.m2 += d * (x - e.mean)
+}
+
+// N returns the number of samples recorded.
+func (e *Estimator) N() int { return int(e.n) }
+
+// Mean returns the sample mean (0 with no samples).
+func (e *Estimator) Mean() float64 { return e.mean }
+
+// Variance returns the unbiased sample variance (0 with fewer than two
+// samples).
+func (e *Estimator) Variance() float64 {
+	if e.n < 2 {
+		return 0
+	}
+	return e.m2 / float64(e.n-1)
+}
+
+// CI95 returns the half-width of the 95% confidence interval for the mean
+// — mean ± CI95 — using the Student t critical value for the sample count.
+// It returns 0 with fewer than two samples: one window gives no variance
+// information, and reporting a zero-width interval there would be wrong in
+// the other direction, so callers gate on N() >= 2 (the sampled loop never
+// stops before a minimum window count).
+func (e *Estimator) CI95() float64 {
+	if e.n < 2 {
+		return 0
+	}
+	se := math.Sqrt(e.Variance() / float64(e.n))
+	return tCrit95(int(e.n-1)) * se
+}
+
+// RelCI95 returns CI95 normalized by the absolute mean — the convergence
+// measure the sampled loop's target-CI early stop uses. A zero mean with
+// nonzero spread reports +Inf (never converged); a zero mean with zero
+// spread reports 0.
+func (e *Estimator) RelCI95() float64 {
+	ci := e.CI95()
+	if m := math.Abs(e.mean); m > 0 {
+		return ci / m
+	}
+	if ci == 0 {
+		return 0
+	}
+	return math.Inf(1)
+}
+
+// tTable holds two-sided 95% Student t critical values for 1..30 degrees
+// of freedom; beyond that the normal approximation (1.96) is within 0.4%.
+var tTable = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// tCrit95 returns the two-sided 95% t critical value for df degrees of
+// freedom.
+func tCrit95(df int) float64 {
+	if df < 1 {
+		return math.Inf(1)
+	}
+	if df <= len(tTable) {
+		return tTable[df-1]
+	}
+	return 1.96
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEstimatorEmpty(t *testing.T) {
+	var e Estimator
+	if e.N() != 0 || e.Mean() != 0 || e.Variance() != 0 || e.CI95() != 0 {
+		t.Fatalf("zero estimator not empty: n=%d mean=%v var=%v ci=%v",
+			e.N(), e.Mean(), e.Variance(), e.CI95())
+	}
+	if got := e.RelCI95(); got != 0 {
+		t.Fatalf("RelCI95 of empty = %v, want 0", got)
+	}
+}
+
+func TestEstimatorSingleSample(t *testing.T) {
+	var e Estimator
+	e.Add(3.5)
+	if e.N() != 1 || e.Mean() != 3.5 {
+		t.Fatalf("n=%d mean=%v, want 1, 3.5", e.N(), e.Mean())
+	}
+	if e.CI95() != 0 {
+		t.Fatalf("CI95 with one sample = %v, want 0", e.CI95())
+	}
+}
+
+func TestEstimatorMatchesTwoPass(t *testing.T) {
+	samples := []float64{1.2, 0.9, 1.05, 1.3, 0.85, 1.1, 0.95, 1.25}
+	var e Estimator
+	var sum float64
+	for _, x := range samples {
+		e.Add(x)
+		sum += x
+	}
+	mean := sum / float64(len(samples))
+	var m2 float64
+	for _, x := range samples {
+		m2 += (x - mean) * (x - mean)
+	}
+	variance := m2 / float64(len(samples)-1)
+
+	if got := e.Mean(); math.Abs(got-mean) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", got, mean)
+	}
+	if got := e.Variance(); math.Abs(got-variance) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, variance)
+	}
+	// 8 samples -> df 7 -> t = 2.365.
+	wantCI := 2.365 * math.Sqrt(variance/float64(len(samples)))
+	if got := e.CI95(); math.Abs(got-wantCI) > 1e-12 {
+		t.Errorf("CI95 = %v, want %v", got, wantCI)
+	}
+	if got, want := e.RelCI95(), wantCI/mean; math.Abs(got-want) > 1e-12 {
+		t.Errorf("RelCI95 = %v, want %v", got, want)
+	}
+}
+
+func TestEstimatorConstantSamples(t *testing.T) {
+	var e Estimator
+	for i := 0; i < 10; i++ {
+		e.Add(2.0)
+	}
+	if e.Variance() != 0 || e.CI95() != 0 || e.RelCI95() != 0 {
+		t.Fatalf("constant samples: var=%v ci=%v rel=%v, want all 0",
+			e.Variance(), e.CI95(), e.RelCI95())
+	}
+}
+
+func TestEstimatorZeroMeanSpread(t *testing.T) {
+	var e Estimator
+	e.Add(-1)
+	e.Add(1)
+	if !math.IsInf(e.RelCI95(), 1) {
+		t.Fatalf("RelCI95 with zero mean and spread = %v, want +Inf", e.RelCI95())
+	}
+}
+
+func TestTCrit95(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{1, 12.706}, {7, 2.365}, {30, 2.042}, {31, 1.96}, {1000, 1.96},
+	}
+	for _, c := range cases {
+		if got := tCrit95(c.df); got != c.want {
+			t.Errorf("tCrit95(%d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+	if !math.IsInf(tCrit95(0), 1) {
+		t.Errorf("tCrit95(0) should be +Inf")
+	}
+}

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the sampled fidelity: runs one stall-heavy point
+# (mcf under SecDDR+CTR, the config where detailed simulation is slowest)
+# exact and sampled, and checks the three promises the mode makes:
+#   1. wall-clock speedup: the sampled run finishes >=5x faster;
+#   2. accuracy: the sampled 95% CI contains the exact IPC;
+#   3. caching: sampled points are digest-cached like exact ones — a
+#      fresh-key re-submission through secddr-serve is a 100% cache hit.
+# Everything is seeded and deterministic, so the checks cannot flake.
+# Run from the repo root: ./scripts/sampled-smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+work=$(mktemp -d)
+server_pid=""
+cleanup() {
+  [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  [ -n "$server_pid" ] && wait "$server_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "== building"
+go build -o "$work/secddr-sim" ./cmd/secddr-sim
+go build -o "$work/secddr-serve" ./cmd/secddr-serve
+go build -o "$work/secddr-sweep" ./cmd/secddr-sweep
+
+point=(-workload mcf -mode secddr+ctr -instr 1000000 -warmup 300000)
+
+echo "== exact run (cycle-accurate throughout)"
+t0=$(date +%s%N)
+"$work/secddr-sim" "${point[@]}" -json > "$work/exact.json"
+t1=$(date +%s%N)
+exact_ms=$(( (t1 - t0) / 1000000 ))
+exact_ipc=$(sed -n 's/^ *"IPC": \([0-9.e+-]*\),*$/\1/p' "$work/exact.json" | head -1)
+echo "   ${exact_ms} ms, IPC ${exact_ipc}"
+
+echo "== sampled run (-ci-target 0.05)"
+t0=$(date +%s%N)
+"$work/secddr-sim" "${point[@]}" -fidelity sampled -ci-target 0.05 -json > "$work/sampled.json"
+t1=$(date +%s%N)
+sampled_ms=$(( (t1 - t0) / 1000000 ))
+mean=$(awk '/"ipc": \{/{f=1} f&&/"mean":/{gsub(/,/,"");print $2; exit}' "$work/sampled.json")
+ci=$(awk '/"ipc": \{/{f=1} f&&/"ci95":/{gsub(/,/,"");print $2; exit}' "$work/sampled.json")
+echo "   ${sampled_ms} ms, IPC ${mean} +-${ci}"
+
+echo "== speedup >= 5x"
+awk -v e="$exact_ms" -v s="$sampled_ms" 'BEGIN { exit !(e >= 5 * s) }' \
+  || { echo "FAIL: sampled run only $(awk -v e="$exact_ms" -v s="$sampled_ms" 'BEGIN{printf "%.1f", e/s}')x faster (${exact_ms} ms exact vs ${sampled_ms} ms sampled)"; exit 1; }
+echo "   $(awk -v e="$exact_ms" -v s="$sampled_ms" 'BEGIN{printf "%.1f", e/s}')x"
+
+echo "== sampled 95% CI contains the exact IPC"
+awk -v x="$exact_ipc" -v m="$mean" -v c="$ci" \
+  'BEGIN { d = x - m; if (d < 0) d = -d; exit !(d <= c) }' \
+  || { echo "FAIL: exact IPC ${exact_ipc} outside sampled ${mean} +-${ci}"; exit 1; }
+
+echo "== booting secddr-serve for the cache-hit check"
+"$work/secddr-serve" -addr 127.0.0.1:0 -store "$work/store" \
+  -addr-file "$work/addr" 2>"$work/serve.log" &
+server_pid=$!
+for _ in $(seq 1 100); do
+  [ -s "$work/addr" ] && break
+  kill -0 "$server_pid" 2>/dev/null || { cat "$work/serve.log"; echo "server died"; exit 1; }
+  sleep 0.1
+done
+[ -s "$work/addr" ] || { echo "server never published its address"; exit 1; }
+url=$(cat "$work/addr")
+echo "   $url"
+
+grid=(-server "$url" -quick -modes secddr+ctr,unprotected -workloads mcf -fidelity sampled)
+
+echo "== first sampled submission (must simulate both points)"
+"$work/secddr-sweep" "${grid[@]}" -out "$work/run1.json" 2>"$work/run1.log"
+cat "$work/run1.log"
+grep -q "2 points: 2 executed, 0 cached" "$work/run1.log" \
+  || { echo "FAIL: first sampled run did not execute both points"; exit 1; }
+
+echo "== fresh-key re-submission (must be 100% cache-hit: 0 simulations)"
+"$work/secddr-sweep" "${grid[@]}" -sweep-key sampled-rerun -out "$work/run2.json" 2>"$work/run2.log"
+cat "$work/run2.log"
+grep -q "2 points: 0 executed, 2 cached" "$work/run2.log" \
+  || { echo "FAIL: sampled re-submission was not served entirely from the store"; exit 1; }
+
+echo "== cached sampled results are identical to live ones"
+for f in run1 run2; do
+  grep -vE '"(cached|executed|deduped|forked|warmups|recovered)":' "$work/$f.json" > "$work/$f.stripped"
+done
+cmp -s "$work/run1.stripped" "$work/run2.stripped" \
+  || { echo "FAIL: cached sampled results differ from live results"; exit 1; }
+
+echo "PASS: sampled fidelity smoke"

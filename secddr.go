@@ -115,6 +115,21 @@ type SimOptions = sim.Options
 // SimResult carries a run's metrics.
 type SimResult = sim.Result
 
+// SimFidelity selects a run's execution fidelity (SimOptions.Fidelity):
+// the exact event-driven loop, or interval sampling that alternates short
+// detailed windows with functional fast-forward and reports each metric
+// as a mean with a 95% confidence interval (SimResult.Estimates).
+type SimFidelity = sim.Fidelity
+
+// SimEstimate is one sampled metric's mean ± 95% CI.
+type SimEstimate = sim.Estimate
+
+// FidelityExact and FidelitySampled are the SimFidelity modes.
+const (
+	FidelityExact   = sim.FidelityExact
+	FidelitySampled = sim.FidelitySampled
+)
+
 // RunSim executes one performance simulation.
 func RunSim(opt SimOptions) (SimResult, error) { return sim.Run(opt) }
 
@@ -205,6 +220,10 @@ func MigrateCheckpoint(path string, s *ResultStore) (int, error) {
 // (modes x workloads x scale overrides; the POST /v1/sweeps body).
 type SweepSpec = service.Spec
 
+// SweepFidelity is a sweep spec's fidelity block: which execution
+// fidelities to sweep and the sampled mode's knobs.
+type SweepFidelity = service.FidelitySpec
+
 // SweepClient talks to a secddr-serve daemon.
 type SweepClient = service.Client
 
@@ -275,6 +294,10 @@ var (
 	ErrSweepQuota        = service.ErrQuotaExceeded
 	ErrUnknownSweep      = service.ErrUnknownSweep
 	ErrNotLeader         = service.ErrNotLeader
+	// ErrUnsupportedFidelity rejects sweep specs whose fidelity block this
+	// server's simulator version cannot honor (unknown mode names or
+	// fields from a newer build).
+	ErrUnsupportedFidelity = service.ErrUnsupportedFidelity
 )
 
 // Scale controls experiment length.
